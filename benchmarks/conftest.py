@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment driver under ``pytest-benchmark`` (so run time is
+tracked), asserts the paper's qualitative findings, and prints the rows /
+series the paper reports so ``pytest benchmarks/ --benchmark-only -s`` can
+be used to eyeball the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[tuple]) -> None:
+    """Print a small aligned table below the benchmark output."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,34 @@
+"""Fig. 10(a) — control-plane CPU usage vs. L3-criteria update rate."""
+
+from conftest import print_table
+
+from repro.experiments import CpuUpdateRateConfig, run_cpu_update_rate_experiment
+
+CONFIG = CpuUpdateRateConfig(samples_per_rate=40, seed=23)
+
+
+def test_bench_fig10a_cpu_update_rate(benchmark):
+    result = benchmark(run_cpu_update_rate_experiment, CONFIG)
+    summary = result.summary()
+
+    rows = [("update rate [1/s]", "mean CPU usage [%]", "fitted CPU usage [%]")]
+    for rate, usage in sorted(result.mean_usage_by_rate().items()):
+        rows.append((f"{rate:.1f}", f"{usage:.1f}", f"{result.regression.predict(rate):.1f}"))
+    print_table("Fig. 10(a): control-plane CPU usage vs. update rate", rows)
+    print_table(
+        "Fig. 10(a) summary",
+        [
+            ("metric", "reproduction", "paper"),
+            ("slope", f"{summary['slope_percent_per_update']:.2f} %/update/s", "linear fit"),
+            (
+                "sustainable rate at 15% CPU",
+                f"{summary['max_update_rate_at_budget']:.2f}/s",
+                "4.33/s (median)",
+            ),
+        ],
+    )
+
+    # Paper shape: linear relationship; the 15 % budget corresponds to a
+    # median of ~4.33 rule updates per second.
+    assert result.regression.r_value > 0.9
+    assert abs(summary["max_update_rate_at_budget"] - 4.33) < 0.5

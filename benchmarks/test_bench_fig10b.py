@@ -1,0 +1,44 @@
+"""Fig. 10(b) — queueing delay of configuration changes (token-bucket queue)."""
+
+from conftest import print_table
+
+from repro.experiments import ChangeQueueingConfig, run_change_queueing_experiment
+
+CONFIG = ChangeQueueingConfig(seed=31)
+
+
+def test_bench_fig10b_change_queueing(benchmark):
+    result = benchmark(run_change_queueing_experiment, CONFIG)
+
+    thresholds = (0.5, 1.0, 10.0, 50.0, 100.0, 1000.0)
+    rows = [("waiting time ≤ x [s]",) + tuple(f"{rate:g}/s" for rate in CONFIG.dequeue_rates)]
+    for threshold in thresholds:
+        rows.append(
+            (threshold,)
+            + tuple(
+                f"{result.fraction_below(rate, threshold):.3f}" for rate in CONFIG.dequeue_rates
+            )
+        )
+    print_table("Fig. 10(b): CDF of configuration-change waiting time", rows)
+    print_table(
+        "Fig. 10(b) summary",
+        [
+            ("metric", "4/s", "5/s", "paper"),
+            (
+                "fraction below 1 s",
+                f"{result.fraction_below(4.0, 1.0):.0%}",
+                f"{result.fraction_below(5.0, 1.0):.0%}",
+                "~70%",
+            ),
+            (
+                "95th percentile",
+                f"{result.percentile(4.0, 0.95):.1f} s",
+                f"{result.percentile(5.0, 0.95):.1f} s",
+                "< 100 s",
+            ),
+        ],
+    )
+
+    assert result.fraction_below(4.0, 1.0) >= 0.65
+    assert result.percentile(4.0, 0.95) < 100.0
+    assert result.percentile(5.0, 0.95) <= result.percentile(4.0, 0.95)

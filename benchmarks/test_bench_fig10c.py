@@ -1,0 +1,50 @@
+"""Fig. 10(c) — active DDoS attack mitigated with Stellar (shape, then drop)."""
+
+from conftest import print_table
+
+from repro.experiments import StellarAttackConfig, run_stellar_attack_experiment
+
+CONFIG = StellarAttackConfig(duration=900.0, interval=10.0, peer_count=60, seed=11)
+
+
+def test_bench_fig10c_stellar_attack(benchmark):
+    result = benchmark(run_stellar_attack_experiment, CONFIG)
+    summary = result.summary()
+
+    series_rows = [("time [s]", "delivered [Mbps]", "#peers")]
+    for i in range(0, len(result.series.times), 6):
+        series_rows.append(
+            (
+                int(result.series.times[i]),
+                f"{result.series.delivered_mbps[i]:.0f}",
+                result.series.peer_counts[i],
+            )
+        )
+    print_table(
+        "Fig. 10(c): booter attack with Stellar (shape at t=300 s, drop at t=500 s)",
+        series_rows,
+    )
+    print_table(
+        "Fig. 10(c) summary",
+        [
+            ("metric", "reproduction", "paper"),
+            ("peak attack", f"{summary['peak_attack_mbps']:.0f} Mbps", "~1000 Mbps"),
+            ("shaping phase", f"{summary['shaped_phase_mbps']:.0f} Mbps", "~200 Mbps (rate limit)"),
+            ("drop phase", f"{summary['dropped_phase_mbps']:.0f} Mbps", "close to zero"),
+            (
+                "peers (peak / shaping / drop)",
+                f"{summary['peers_before_mitigation']:.0f} / "
+                f"{summary['peers_during_shaping']:.0f} / {summary['peers_after_drop']:.0f}",
+                "~60 / ~60 / near zero",
+            ),
+        ],
+    )
+
+    # Paper shape: shaping pins the delivered rate at the 200 Mbps telemetry
+    # limit without reducing the peer count; the drop rule then removes the
+    # attack almost entirely and collapses the peer count.
+    assert 800 <= summary["peak_attack_mbps"] <= 1300
+    assert abs(summary["shaped_phase_mbps"] - 200.0) < 80.0
+    assert summary["dropped_phase_mbps"] < 100.0
+    assert summary["peers_during_shaping"] > 0.8 * summary["peers_before_mitigation"]
+    assert summary["peers_after_drop"] < 0.3 * summary["peers_before_mitigation"]

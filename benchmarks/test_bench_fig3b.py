@@ -1,0 +1,32 @@
+"""Fig. 3(b) — usage of policy control for RTBH announcements at L-IXP."""
+
+from conftest import print_table
+
+from repro.experiments import (
+    PAPER_FIG3B_SHARES,
+    PolicyControlConfig,
+    run_policy_control_experiment,
+)
+
+CONFIG = PolicyControlConfig(announcement_count=5000, member_count=120, seed=13)
+
+
+def test_bench_fig3b_policy_control(benchmark):
+    result = benchmark(run_policy_control_experiment, CONFIG)
+
+    rows = [("affected ASNs", "share of announcements (repro)", "share (paper)")]
+    for category in result.distribution.categories_sorted():
+        rows.append(
+            (
+                category,
+                f"{result.share_of(category):.2%}",
+                f"{PAPER_FIG3B_SHARES.get(category, 0.0):.2%}",
+            )
+        )
+    print_table("Fig. 3(b): usage of policy control for RTBH", rows)
+
+    # Paper shape: ~94 % of blackholing announcements go to all peers; the
+    # scoped categories are a small tail.
+    assert result.share_of("All") > 0.9
+    assert result.share_of("All-1") < 0.1
+    assert sum(result.distribution.shares().values()) > 0.999

@@ -1,0 +1,43 @@
+"""Fig. 3(c) — active DDoS attack exposing RTBH ineffectiveness.
+
+Regenerates the delivered-traffic and peer-count time series of the
+controlled booter attack mitigated (unsuccessfully) with classic RTBH.
+"""
+
+from conftest import print_table
+
+from repro.experiments import RtbhAttackConfig, run_rtbh_attack_experiment
+
+CONFIG = RtbhAttackConfig(duration=900.0, interval=10.0, seed=7)
+
+
+def test_bench_fig3c_rtbh_attack(benchmark):
+    result = benchmark(run_rtbh_attack_experiment, CONFIG)
+    summary = result.summary()
+
+    series_rows = [("time [s]", "delivered [Mbps]", "#peers")]
+    for i in range(0, len(result.series.times), 6):
+        series_rows.append(
+            (
+                int(result.series.times[i]),
+                f"{result.series.delivered_mbps[i]:.0f}",
+                result.series.peer_counts[i],
+            )
+        )
+    print_table("Fig. 3(c): booter attack with RTBH signalled at t=380 s", series_rows)
+    print_table(
+        "Fig. 3(c) summary",
+        [
+            ("metric", "reproduction", "paper"),
+            ("peak attack", f"{summary['peak_attack_mbps']:.0f} Mbps", "~1000 Mbps"),
+            ("residual after RTBH", f"{summary['residual_mbps']:.0f} Mbps", "600-800 Mbps"),
+            ("peer reduction", f"{summary['peer_reduction_fraction']:.0%}", "~25%"),
+            ("peers at peak", f"{summary['peers_before_blackhole']:.0f}", "~40"),
+        ],
+    )
+
+    # Paper shape: RTBH barely dents the attack because ~70 % of the peers do
+    # not honour the blackhole; the peer count only drops by about a quarter.
+    assert 800 <= summary["peak_attack_mbps"] <= 1200
+    assert 500 <= summary["residual_mbps"] <= 850
+    assert 0.1 <= summary["peer_reduction_fraction"] <= 0.45

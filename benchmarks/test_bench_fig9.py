@@ -1,0 +1,33 @@
+"""Fig. 9 — Stellar TCAM scaling limits by IXP member adoption rate."""
+
+from conftest import print_table
+
+from repro.experiments import PAPER_FIG9, run_scaling_experiment
+from repro.experiments.scaling import DEFAULT_L3L4_MULTIPLES, DEFAULT_MAC_MULTIPLES, ScalingConfig
+
+CONFIG = ScalingConfig()
+
+
+def test_bench_fig9_scaling_limits(benchmark):
+    result = benchmark(run_scaling_experiment, CONFIG)
+
+    for rate in CONFIG.adoption_rates:
+        matrix = result.matrix(rate)
+        rows = [("MAC \\ L3-L4",) + tuple(f"{m}N" for m in DEFAULT_L3L4_MULTIPLES)]
+        for mac in sorted(DEFAULT_MAC_MULTIPLES, reverse=True):
+            rows.append(
+                (f"{mac}N",)
+                + tuple(matrix.status(mac, l3l4).value for l3l4 in DEFAULT_L3L4_MULTIPLES)
+            )
+        print_table(
+            f"Fig. 9 ({rate:.0%} adoption, {matrix.active_ports} active ports)", rows
+        )
+
+    # The reproduced matrices must match the paper cell for cell.
+    for rate, expected in PAPER_FIG9.items():
+        matrix = result.matrix(rate)
+        for cell, status in expected.items():
+            assert matrix.status(*cell).value == status, (rate, cell)
+    fractions = result.summary()
+    assert fractions[0.2] == 1.0
+    assert fractions[0.2] > fractions[0.6] > fractions[1.0]

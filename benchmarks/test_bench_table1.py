@@ -1,0 +1,40 @@
+"""Table 1 — qualitative comparison of DDoS mitigation techniques.
+
+Regenerates the comparison matrix from the technique implementations and a
+quantitative sanity check (residual attack / collateral damage per
+technique on a common scenario).
+"""
+
+from conftest import print_table
+
+from repro.experiments import build_table1, run_quantitative_comparison
+from repro.mitigation import Dimension
+
+
+def test_bench_table1_qualitative(benchmark):
+    table = benchmark(build_table1)
+    assert table.matches_paper()
+    rows = [("Dimension",) + table.techniques]
+    for dimension in Dimension:
+        rows.append(
+            (dimension.value,)
+            + tuple(table.rating(technique, dimension).symbol for technique in table.techniques)
+        )
+    print_table("Table 1: Advanced Blackholing vs. DDoS mitigation solutions", rows)
+
+
+def test_bench_table1_quantitative(benchmark):
+    result = benchmark(run_quantitative_comparison)
+    rows = [("technique", "residual attack", "collateral damage")]
+    for name in result.residual_attack_fraction:
+        rows.append(
+            (
+                name,
+                f"{result.residual_attack_fraction[name]:.2%}",
+                f"{result.collateral_damage_fraction[name]:.2%}",
+            )
+        )
+    print_table("Table 1 companion: quantitative comparison on a 1 Gbps NTP attack", rows)
+    assert result.residual_attack_fraction["RTBH"] > result.residual_attack_fraction[
+        "Advanced Blackholing"
+    ]

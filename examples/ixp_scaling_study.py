@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scaling study: does Stellar fit into the IXP's hardware? (Fig. 9 / 10a / 10b)
+
+Three questions an IXP operator asks before deploying Advanced Blackholing:
+
+1. Do the TCAM pools of the densest edge router survive growing adoption
+   (Fig. 9)?
+2. How many rule updates per second can the control plane sustain within
+   its 15 % CPU budget (Fig. 10a)?
+3. How long does a blackholing request wait in the configuration queue
+   under realistic signalling load (Fig. 10b)?
+
+Run with::
+
+    python examples/ixp_scaling_study.py
+"""
+
+from repro.experiments import (
+    ChangeQueueingConfig,
+    CpuUpdateRateConfig,
+    run_change_queueing_experiment,
+    run_cpu_update_rate_experiment,
+    run_scaling_experiment,
+)
+from repro.experiments.scaling import DEFAULT_L3L4_MULTIPLES, DEFAULT_MAC_MULTIPLES, ScalingConfig
+from repro.ixp import l_ixp_edge_router_profile
+
+
+def main() -> None:
+    profile = l_ixp_edge_router_profile()
+    print(
+        f"Edge router profile: {profile.port_count} member ports, "
+        f"{profile.mac_filter_capacity} MAC filter entries, "
+        f"{profile.l3l4_criteria_capacity} L3-L4 filter criteria\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 1. TCAM feasibility (Fig. 9)
+    # ------------------------------------------------------------------
+    print("1. TCAM feasibility by adoption rate "
+          "(rows: MAC filters/port, columns: L3-L4 criteria/port, in units of N):")
+    result = run_scaling_experiment(ScalingConfig(profile=profile))
+    for rate in (0.2, 0.6, 1.0):
+        print()
+        print(result.matrix(rate).render(DEFAULT_MAC_MULTIPLES, DEFAULT_L3L4_MULTIPLES))
+
+    # ------------------------------------------------------------------
+    # 2. Control-plane update rate (Fig. 10a)
+    # ------------------------------------------------------------------
+    print("\n2. Control-plane CPU budget:")
+    cpu = run_cpu_update_rate_experiment(CpuUpdateRateConfig())
+    print(
+        f"   CPU usage ≈ {cpu.regression.intercept:.1f}% + "
+        f"{cpu.regression.slope:.2f}% per update/s (r = {cpu.regression.r_value:.3f})"
+    )
+    print(
+        f"   ⇒ at the 15% budget the router sustains "
+        f"{cpu.max_update_rate:.2f} rule updates per second (paper: 4.33/s)"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Configuration queueing delay (Fig. 10b)
+    # ------------------------------------------------------------------
+    print("\n3. Configuration-change queueing delay (token-bucket limited):")
+    queueing = run_change_queueing_experiment(ChangeQueueingConfig())
+    for rate in (4.0, 5.0):
+        print(
+            f"   dequeue rate {rate:.0f}/s: "
+            f"{queueing.fraction_below(rate, 1.0):.0%} of changes take effect within 1 s, "
+            f"95th percentile {queueing.percentile(rate, 0.95):.0f} s"
+        )
+    print("\nConclusion: with the calibrated hardware profile Stellar fits the IXP's\n"
+          "existing hardware with headroom at today's adoption rates; only a 100%\n"
+          "adoption stretch test with many parallel fine-grained rules per port\n"
+          "exhausts the L3-L4 TCAM pool.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Collateral damage of RTBH during a memcached amplification attack (Fig. 2c).
+
+A web-hosting IXP member (HTTPS/HTTP/RTMP traffic) is hit by a memcached
+amplification attack.  The script shows how the member's per-port traffic
+shares shift when the attack starts, and quantifies why classic RTBH is a
+bad answer (it drops the remaining legitimate web traffic together with the
+attack) while a fine-grained "UDP source port 11211" filter removes the
+attack with no collateral damage.
+
+Run with::
+
+    python examples/memcached_collateral_damage.py
+"""
+
+from repro.experiments import CollateralDamageConfig, run_collateral_damage_experiment
+from repro.traffic import WellKnownPort
+
+PORT_LABELS = {
+    int(WellKnownPort.HTTPS): "443 (https)",
+    int(WellKnownPort.HTTP): "80 (http)",
+    int(WellKnownPort.HTTP_ALT): "8080",
+    int(WellKnownPort.RTMP): "1935 (rtmp)",
+    int(WellKnownPort.MEMCACHED): "11211 (memcached)",
+    -1: "others",
+}
+
+
+def main() -> None:
+    config = CollateralDamageConfig(
+        duration=3600.0,
+        interval=60.0,
+        attack_start=1260.0,  # the paper's attack starts at 20:21
+        benign_rate_bps=2e9,
+        attack_rate_bps=40e9,
+        peer_count=20,
+        seed=5,
+    )
+    print("Generating the member-facing trace and running the analysis ...")
+    result = run_collateral_damage_experiment(config)
+
+    print("\nTraffic share towards the attacked member, per application port:")
+    header = f"{'port':<18}{'before the attack':>20}{'during the attack':>20}"
+    print(header)
+    print("-" * len(header))
+    for port, label in PORT_LABELS.items():
+        if port == -1:
+            continue
+        print(
+            f"{label:<18}{result.share_before_attack(port):>19.1%}"
+            f"{result.share_during_attack(port):>20.1%}"
+        )
+
+    summary = result.summary()
+    print("\nMitigation options for the victim:")
+    print(
+        "  classic RTBH        : removes "
+        f"{summary['rtbh_attack_removed_fraction']:.0%} of the attack but also "
+        f"{summary['rtbh_collateral_damage_fraction']:.0%} of the legitimate traffic"
+    )
+    print(
+        "  UDP src 11211 filter: removes "
+        f"{summary['fine_grained_attack_removed_fraction']:.0%} of the attack and only "
+        f"{summary['fine_grained_collateral_fraction']:.0%} of the legitimate traffic"
+    )
+    print(
+        "\nThis is the paper's §2.3 argument for Advanced Blackholing: the attack has a\n"
+        "clean L3/L4 signature, so a fine-grained filter at the IXP removes it without\n"
+        "making the victim's prefix unreachable."
+    )
+
+
+if __name__ == "__main__":
+    main()

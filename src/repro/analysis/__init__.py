@@ -1,0 +1,53 @@
+"""Analysis helpers: statistics, collateral damage, compliance, time series."""
+
+from .collateral import (
+    CollateralDamageReport,
+    PortShareSnapshot,
+    collateral_damage,
+    fine_grained_filter_potential,
+    port_share_timeseries,
+)
+from .compliance import (
+    ComplianceSummary,
+    PolicyControlDistribution,
+    compliance_from_event,
+    compliance_from_service,
+    peer_reduction_fraction,
+    policy_control_distribution,
+)
+from .stats import (
+    ConfidenceInterval,
+    LinearRegressionResult,
+    WelchTestResult,
+    cdf_quantile,
+    empirical_cdf,
+    fraction_below,
+    linear_regression,
+    mean_confidence_interval,
+    welch_t_test,
+)
+from .timeseries import AttackTimeSeries
+
+__all__ = [
+    "CollateralDamageReport",
+    "PortShareSnapshot",
+    "collateral_damage",
+    "fine_grained_filter_potential",
+    "port_share_timeseries",
+    "ComplianceSummary",
+    "PolicyControlDistribution",
+    "compliance_from_event",
+    "compliance_from_service",
+    "peer_reduction_fraction",
+    "policy_control_distribution",
+    "ConfidenceInterval",
+    "LinearRegressionResult",
+    "WelchTestResult",
+    "cdf_quantile",
+    "empirical_cdf",
+    "fraction_below",
+    "linear_regression",
+    "mean_confidence_interval",
+    "welch_t_test",
+    "AttackTimeSeries",
+]

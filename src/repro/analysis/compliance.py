@@ -1,0 +1,108 @@
+"""RTBH policy-control and compliance analysis (Fig. 3(b) and §2.4).
+
+Two questions from the measurement study:
+
+* *How do prefix owners scope their RTBH announcements?*  For more than
+  93 % of blackholing events the owner asks **all** route-server peers to
+  blackhole; a small tail restricts the announcement ("All-1", "All-4", …)
+  or targets an explicit peer list ("20", "21" peers).  Fig. 3(b) plots the
+  share of announcements per category.
+* *Do the peers comply?*  Almost 70 % of members do not honour the
+  blackholing community.  The compliance summary quantifies this from a
+  :class:`~repro.mitigation.rtbh.RtbhService`'s state or from observed
+  traffic behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..bgp.route_server import PolicyControl
+from ..mitigation.rtbh import BlackholeEvent, RtbhService
+
+
+@dataclass(frozen=True)
+class PolicyControlDistribution:
+    """Share of RTBH announcements per policy-control category (Fig. 3(b))."""
+
+    counts: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share_of(self, category: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(category, 0) / self.total
+
+    def shares(self) -> Dict[str, float]:
+        return {category: self.share_of(category) for category in self.counts}
+
+    def categories_sorted(self) -> List[str]:
+        """Categories ordered as in the figure: restrictive first, 'All' last,
+        explicit-list categories after it."""
+        def sort_key(category: str):
+            if category == "All":
+                return (1, 0)
+            if category.startswith("All-"):
+                return (0, -int(category.split("-")[1]))
+            return (2, int(category))
+
+        return sorted(self.counts, key=sort_key)
+
+
+def policy_control_distribution(
+    controls: Iterable[PolicyControl],
+) -> PolicyControlDistribution:
+    """Aggregate announcement policy controls into the Fig. 3(b) categories."""
+    counter = Counter(control.category for control in controls)
+    return PolicyControlDistribution(counts=dict(counter))
+
+
+@dataclass(frozen=True)
+class ComplianceSummary:
+    """How many peers honour RTBH announcements."""
+
+    total_peers: int
+    honoring_peers: int
+
+    @property
+    def compliance_rate(self) -> float:
+        if self.total_peers == 0:
+            return 0.0
+        return self.honoring_peers / self.total_peers
+
+    @property
+    def non_compliance_rate(self) -> float:
+        return 1.0 - self.compliance_rate if self.total_peers else 0.0
+
+
+def compliance_from_service(
+    service: RtbhService, peer_asns: Sequence[int]
+) -> ComplianceSummary:
+    """Compliance summary over an explicit peer population."""
+    honoring = sum(1 for asn in peer_asns if service.member_honors(asn))
+    return ComplianceSummary(total_peers=len(peer_asns), honoring_peers=honoring)
+
+
+def compliance_from_event(
+    event: BlackholeEvent, peer_asns: Sequence[int]
+) -> ComplianceSummary:
+    """Compliance summary for one blackhole event."""
+    peers = set(peer_asns) - {event.victim_asn}
+    honoring = len(event.honoring_members & peers)
+    return ComplianceSummary(total_peers=len(peers), honoring_peers=honoring)
+
+
+def peer_reduction_fraction(peers_before: int, peers_after: int) -> float:
+    """Relative reduction in the number of peers sending traffic.
+
+    The paper observes that after the RTBH signal the number of peers from
+    which attack traffic is received decreases by only ~25 % (Fig. 3(c)).
+    """
+    if peers_before <= 0:
+        return 0.0
+    return max(0.0, (peers_before - peers_after) / peers_before)

@@ -1,0 +1,90 @@
+"""BGP substrate: prefixes, communities, messages, RIBs, sessions and the
+IXP route server with its import policy (IRR / RPKI / bogons)."""
+
+from .attributes import Origin, PathAttributes
+from .bogons import BogonFilter
+from .communities import (
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+    blackhole_community,
+    rtbh_community,
+)
+from .flowspec import (
+    FlowspecAction,
+    FlowspecActionType,
+    FlowspecComponentType,
+    FlowspecRule,
+    drop_rule,
+    rate_limit_rule,
+)
+from .irr import IrrDatabase, RouteObject
+from .messages import (
+    KeepaliveMessage,
+    MessageType,
+    NotificationMessage,
+    OpenMessage,
+    RouteAnnouncement,
+    RouteWithdrawal,
+    UpdateMessage,
+    announcement,
+)
+from .policy import (
+    ImportPolicy,
+    PolicyAction,
+    PolicyResult,
+    RejectReason,
+    permissive_policy,
+)
+from .prefix import Prefix, parse_prefix
+from .rib import RibDiff, RoutingInformationBase, best_path
+from .route_server import PolicyControl, RejectedAnnouncement, RouteServer
+from .rpki import Roa, RpkiValidator, RpkiValidity
+from .session import BgpSession, SessionError, SessionState, SessionType
+
+__all__ = [
+    "Origin",
+    "PathAttributes",
+    "BogonFilter",
+    "ExtendedCommunity",
+    "LargeCommunity",
+    "StandardCommunity",
+    "blackhole_community",
+    "rtbh_community",
+    "FlowspecAction",
+    "FlowspecActionType",
+    "FlowspecComponentType",
+    "FlowspecRule",
+    "drop_rule",
+    "rate_limit_rule",
+    "IrrDatabase",
+    "RouteObject",
+    "KeepaliveMessage",
+    "MessageType",
+    "NotificationMessage",
+    "OpenMessage",
+    "RouteAnnouncement",
+    "RouteWithdrawal",
+    "UpdateMessage",
+    "announcement",
+    "ImportPolicy",
+    "PolicyAction",
+    "PolicyResult",
+    "RejectReason",
+    "permissive_policy",
+    "Prefix",
+    "parse_prefix",
+    "RibDiff",
+    "RoutingInformationBase",
+    "best_path",
+    "PolicyControl",
+    "RejectedAnnouncement",
+    "RouteServer",
+    "Roa",
+    "RpkiValidator",
+    "RpkiValidity",
+    "BgpSession",
+    "SessionError",
+    "SessionState",
+    "SessionType",
+]

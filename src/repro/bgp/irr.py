@@ -1,0 +1,82 @@
+"""Internet Routing Registry (IRR) database model.
+
+IXP route servers filter member announcements against IRR ``route`` objects
+so that a member can only announce prefixes it (or one of its customers)
+registered (paper §2.2 and §4.3: "routing hygiene").  The reproduction
+models the IRR as an in-memory mapping from origin ASN to the set of
+registered prefixes, with the usual "covering registration authorises more
+specifics" semantics so that /32 blackholing announcements are accepted
+when the covering /24 (or shorter) prefix is registered to the same origin.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from .prefix import Prefix, parse_prefix
+
+
+@dataclass(frozen=True)
+class RouteObject:
+    """An IRR ``route`` object binding a prefix to its origin ASN."""
+
+    prefix: Prefix
+    origin_asn: int
+    source: str = "RADB"
+
+    def __str__(self) -> str:
+        return f"route: {self.prefix} origin: AS{self.origin_asn} ({self.source})"
+
+
+class IrrDatabase:
+    """In-memory IRR used by the route-server import policy."""
+
+    def __init__(self) -> None:
+        self._by_origin: Dict[int, Set[Prefix]] = defaultdict(set)
+        self._objects: list[RouteObject] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, prefix: "str | Prefix", origin_asn: int, source: str = "RADB") -> RouteObject:
+        """Register a route object and return it."""
+        if origin_asn <= 0:
+            raise ValueError(f"origin ASN must be positive, got {origin_asn}")
+        prefix = parse_prefix(prefix)
+        obj = RouteObject(prefix=prefix, origin_asn=origin_asn, source=source)
+        self._by_origin[origin_asn].add(prefix)
+        self._objects.append(obj)
+        return obj
+
+    def register_many(self, prefixes: Iterable["str | Prefix"], origin_asn: int) -> None:
+        """Register several prefixes for the same origin ASN."""
+        for prefix in prefixes:
+            self.register(prefix, origin_asn)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def prefixes_for(self, origin_asn: int) -> Set[Prefix]:
+        """All prefixes registered for an origin ASN."""
+        return set(self._by_origin.get(origin_asn, set()))
+
+    def is_authorized(self, prefix: "str | Prefix", origin_asn: int) -> bool:
+        """True if ``origin_asn`` registered ``prefix`` or a covering prefix.
+
+        Allowing more specifics of a registered covering prefix mirrors how
+        IXPs accept /32 blackholing announcements for registered /24s.
+        """
+        prefix = parse_prefix(prefix)
+        registered = self._by_origin.get(origin_asn)
+        if not registered:
+            return False
+        return any(candidate.contains(prefix) for candidate in registered)
+
+    def objects(self) -> list[RouteObject]:
+        """All registered route objects (in registration order)."""
+        return list(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)

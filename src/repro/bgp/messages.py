@@ -1,0 +1,150 @@
+"""BGP message model.
+
+The reproduction does not serialise BGP to the wire; instead it models the
+message types and their semantic payloads as value objects that flow between
+member routers, the route server and Stellar's blackholing controller.  The
+UPDATE message is the workhorse: it carries route announcements (NLRI plus
+path attributes) and withdrawals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from .attributes import PathAttributes
+from .prefix import Prefix
+
+_message_ids = itertools.count(1)
+
+
+class MessageType(Enum):
+    """BGP-4 message types (RFC 4271 §4)."""
+
+    OPEN = 1
+    UPDATE = 2
+    NOTIFICATION = 3
+    KEEPALIVE = 4
+
+
+@dataclass(frozen=True)
+class RouteAnnouncement:
+    """A single NLRI (prefix) announced with a set of path attributes.
+
+    ``path_id`` carries the ADD-PATH (RFC 7911) path identifier.  The route
+    server uses distinct path identifiers when forwarding routes for the
+    same prefix from different members to the blackholing controller so
+    that best-path selection does not hide any of them.
+    """
+
+    prefix: Prefix
+    attributes: PathAttributes
+    path_id: int = 0
+
+    @property
+    def origin_asn(self) -> Optional[int]:
+        return self.attributes.origin_asn
+
+    @property
+    def is_blackhole_request(self) -> bool:
+        """True if the announcement carries an RTBH community."""
+        return self.attributes.has_blackhole_community
+
+    def __str__(self) -> str:
+        return f"{self.prefix} via AS{self.attributes.neighbor_asn} (path_id={self.path_id})"
+
+
+@dataclass(frozen=True)
+class RouteWithdrawal:
+    """Withdrawal of a previously announced prefix."""
+
+    prefix: Prefix
+    path_id: int = 0
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """A BGP UPDATE carrying announcements and withdrawals."""
+
+    sender_asn: int
+    announcements: Tuple[RouteAnnouncement, ...] = ()
+    withdrawals: Tuple[RouteWithdrawal, ...] = ()
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.UPDATE
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.announcements and not self.withdrawals
+
+    def __len__(self) -> int:
+        return len(self.announcements) + len(self.withdrawals)
+
+
+@dataclass(frozen=True)
+class OpenMessage:
+    """A BGP OPEN message with the capabilities relevant to the model."""
+
+    sender_asn: int
+    hold_time: int = 90
+    bgp_identifier: str = "0.0.0.0"
+    add_path: bool = False
+    ipv6: bool = True
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.OPEN
+
+
+@dataclass(frozen=True)
+class KeepaliveMessage:
+    """A BGP KEEPALIVE message."""
+
+    sender_asn: int
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.KEEPALIVE
+
+
+@dataclass(frozen=True)
+class NotificationMessage:
+    """A BGP NOTIFICATION message closing the session with an error."""
+
+    sender_asn: int
+    error_code: int
+    error_subcode: int = 0
+    reason: str = ""
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.NOTIFICATION
+
+
+def announcement(
+    prefix: "str | Prefix",
+    asn: int,
+    next_hop: str = "",
+    attributes: Optional[PathAttributes] = None,
+    path_id: int = 0,
+) -> RouteAnnouncement:
+    """Convenience constructor for a single-prefix announcement.
+
+    If explicit ``attributes`` are given they are used as-is (with the AS
+    path prepended with ``asn`` when empty); otherwise a minimal attribute
+    set originated by ``asn`` is created.
+    """
+    from .prefix import parse_prefix
+
+    prefix = parse_prefix(prefix)
+    if attributes is None:
+        attributes = PathAttributes(as_path=(asn,), next_hop=next_hop)
+    elif not attributes.as_path:
+        attributes = attributes.prepend(asn)
+    if next_hop and not attributes.next_hop:
+        attributes = attributes.with_next_hop(next_hop)
+    return RouteAnnouncement(prefix=prefix, attributes=attributes, path_id=path_id)

@@ -1,0 +1,170 @@
+"""Route-server import policy.
+
+Implements the "routing hygiene" checks the paper describes for the IXP
+route server (§4.3): every member announcement is validated against
+
+* the IRR database (origin must have registered the prefix or a covering
+  prefix),
+* the bogon list,
+* RPKI origin validation (INVALID announcements are rejected; NOT_FOUND is
+  accepted, as in production route-server deployments),
+* basic sanity checks (prefix-length limits, AS-path sanity, next-hop
+  present).
+
+Host routes (/32, /128) are only accepted when they carry a blackholing
+community — exactly the exception IXPs configure for RTBH — or when the
+policy is explicitly told to accept more specifics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .bogons import BogonFilter
+from .irr import IrrDatabase
+from .messages import RouteAnnouncement
+from .rpki import RpkiValidator, RpkiValidity
+
+
+class PolicyAction(Enum):
+    """Outcome of an import-policy evaluation."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+
+
+class RejectReason(Enum):
+    """Why an announcement was rejected (used for operator telemetry)."""
+
+    NONE = "none"
+    BOGON = "bogon"
+    IRR_UNAUTHORIZED = "irr_unauthorized"
+    RPKI_INVALID = "rpki_invalid"
+    PREFIX_TOO_LONG = "prefix_too_long"
+    PREFIX_TOO_SHORT = "prefix_too_short"
+    MISSING_NEXT_HOP = "missing_next_hop"
+    EMPTY_AS_PATH = "empty_as_path"
+    AS_PATH_TOO_LONG = "as_path_too_long"
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Result of evaluating one announcement against the import policy."""
+
+    action: PolicyAction
+    reason: RejectReason = RejectReason.NONE
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.action is PolicyAction.ACCEPT
+
+
+@dataclass
+class ImportPolicy:
+    """Configurable route-server import policy."""
+
+    irr: IrrDatabase = field(default_factory=IrrDatabase)
+    rpki: RpkiValidator = field(default_factory=RpkiValidator)
+    bogons: BogonFilter = field(default_factory=BogonFilter)
+    #: Longest prefix accepted for regular (non-blackhole) IPv4 announcements.
+    max_ipv4_length: int = 24
+    #: Longest prefix accepted for regular (non-blackhole) IPv6 announcements.
+    max_ipv6_length: int = 48
+    #: Shortest prefix accepted (reject default-route style announcements).
+    min_ipv4_length: int = 8
+    min_ipv6_length: int = 19
+    #: Reject absurdly long AS paths (loop/leak protection).
+    max_as_path_length: int = 32
+    #: When True, more-specific announcements (up to host routes) are
+    #: accepted even without a blackhole community.  The Stellar signaling
+    #: path enables this because Advanced Blackholing signals are host
+    #: routes tagged with extended communities rather than the RTBH
+    #: standard community.
+    accept_more_specifics_with_blackhole_only: bool = True
+    #: Require IRR authorisation.  Disabled for lab scenarios.
+    require_irr: bool = True
+    #: Reject RPKI-invalid announcements.
+    reject_rpki_invalid: bool = True
+
+    # ------------------------------------------------------------------
+    def evaluate(self, route: RouteAnnouncement, allow_blackhole_specifics: bool = True) -> PolicyResult:
+        """Evaluate a single announcement.
+
+        ``allow_blackhole_specifics`` controls whether host routes tagged
+        for blackholing (standard RTBH community or any extended community,
+        which is how Stellar requests arrive) bypass the prefix-length
+        ceiling.
+        """
+        attrs = route.attributes
+        prefix = route.prefix
+
+        if not attrs.as_path:
+            return PolicyResult(PolicyAction.REJECT, RejectReason.EMPTY_AS_PATH)
+        if attrs.as_path_length > self.max_as_path_length:
+            return PolicyResult(
+                PolicyAction.REJECT,
+                RejectReason.AS_PATH_TOO_LONG,
+                f"AS path length {attrs.as_path_length} exceeds {self.max_as_path_length}",
+            )
+        if not attrs.next_hop:
+            return PolicyResult(PolicyAction.REJECT, RejectReason.MISSING_NEXT_HOP)
+
+        if self.bogons.is_bogon(prefix):
+            return PolicyResult(
+                PolicyAction.REJECT, RejectReason.BOGON, f"{prefix} is bogon space"
+            )
+
+        min_len, max_len = (
+            (self.min_ipv4_length, self.max_ipv4_length)
+            if prefix.version == 4
+            else (self.min_ipv6_length, self.max_ipv6_length)
+        )
+        if prefix.length < min_len:
+            return PolicyResult(
+                PolicyAction.REJECT,
+                RejectReason.PREFIX_TOO_SHORT,
+                f"{prefix} shorter than /{min_len}",
+            )
+        if prefix.length > max_len:
+            is_mitigation_request = (
+                attrs.has_blackhole_community or bool(attrs.extended_communities)
+            )
+            allowed = (
+                allow_blackhole_specifics
+                and self.accept_more_specifics_with_blackhole_only
+                and is_mitigation_request
+            ) or not self.accept_more_specifics_with_blackhole_only
+            if not allowed:
+                return PolicyResult(
+                    PolicyAction.REJECT,
+                    RejectReason.PREFIX_TOO_LONG,
+                    f"{prefix} longer than /{max_len} without a blackhole community",
+                )
+
+        origin = attrs.origin_asn
+        if self.require_irr and origin is not None:
+            if not self.irr.is_authorized(prefix, origin):
+                return PolicyResult(
+                    PolicyAction.REJECT,
+                    RejectReason.IRR_UNAUTHORIZED,
+                    f"AS{origin} has no IRR route object covering {prefix}",
+                )
+
+        if self.reject_rpki_invalid and origin is not None:
+            validity = self.rpki.validate(prefix, origin)
+            if validity is RpkiValidity.INVALID:
+                return PolicyResult(
+                    PolicyAction.REJECT,
+                    RejectReason.RPKI_INVALID,
+                    f"RPKI invalid for {prefix} origin AS{origin}",
+                )
+
+        return PolicyResult(PolicyAction.ACCEPT)
+
+
+def permissive_policy() -> ImportPolicy:
+    """A policy that skips IRR/RPKI checks — used by lab-style scenarios."""
+    return ImportPolicy(require_irr=False, reject_rpki_invalid=False)

@@ -1,0 +1,122 @@
+"""IP prefix handling for the BGP substrate.
+
+Thin, validated wrappers around :mod:`ipaddress` networks.  Prefixes are
+hashable value objects used as RIB keys, IRR/RPKI database entries, and
+blackholing-rule destinations.  The paper's blackholing service operates
+almost exclusively on IPv4 /32 host routes (98 % of blackholed prefixes),
+but the model supports IPv6 as well.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Union
+
+_IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+_IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 or IPv6 prefix (network address + prefix length)."""
+
+    network: _IPNetwork
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"100.10.10.0/24"`` or a bare address (treated as a host)."""
+        text = text.strip()
+        if "/" not in text:
+            address = ipaddress.ip_address(text)
+            length = 32 if address.version == 4 else 128
+            text = f"{address}/{length}"
+        return cls(ipaddress.ip_network(text, strict=False))
+
+    @classmethod
+    def host(cls, address: str | _IPAddress) -> "Prefix":
+        """Build the host route (/32 or /128) covering ``address``."""
+        addr = ipaddress.ip_address(str(address))
+        length = 32 if addr.version == 4 else 128
+        return cls(ipaddress.ip_network(f"{addr}/{length}"))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """IP version: 4 or 6."""
+        return self.network.version
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits."""
+        return self.network.prefixlen
+
+    @property
+    def is_host_route(self) -> bool:
+        """True for /32 (IPv4) or /128 (IPv6) prefixes."""
+        return self.length == (32 if self.version == 4 else 128)
+
+    @property
+    def address(self) -> str:
+        """Network address as a string (without the prefix length)."""
+        return str(self.network.network_address)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if self.version != other.version:
+            return False
+        return other.network.subnet_of(self.network)
+
+    def contains_address(self, address: str | _IPAddress) -> bool:
+        """True if the address falls inside this prefix."""
+        addr = ipaddress.ip_address(str(address))
+        if addr.version != self.version:
+            return False
+        return addr in self.network
+
+    def is_more_specific_than(self, other: "Prefix") -> bool:
+        """True if this prefix is a strict subnet of ``other``."""
+        return self != other and other.contains(self)
+
+    def supernet(self, new_length: int) -> "Prefix":
+        """Return the covering prefix of length ``new_length``."""
+        if new_length > self.length:
+            raise ValueError(
+                f"supernet length {new_length} longer than prefix length {self.length}"
+            )
+        return Prefix(self.network.supernet(new_prefix=new_length))
+
+    # ------------------------------------------------------------------
+    # Ordering / display
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self.version, int(self.network.network_address), self.length) < (
+            other.version,
+            int(other.network.network_address),
+            other.length,
+        )
+
+    def __str__(self) -> str:
+        return str(self.network)
+
+    def __repr__(self) -> str:
+        return f"Prefix({self.network})"
+
+
+def parse_prefix(value: "str | Prefix") -> Prefix:
+    """Coerce a string or :class:`Prefix` into a :class:`Prefix`."""
+    if isinstance(value, Prefix):
+        return value
+    return Prefix.parse(value)

@@ -1,0 +1,257 @@
+"""Encoding blackholing rules in BGP extended communities.
+
+Stellar chose BGP extended communities (RFC 4360) as its signalling
+interface because they offer a large, structured numbering space while
+remaining compatible with every route-server implementation (paper
+§4.2.1).  The paper's Internet experiment uses the community ``IXP:2:123``
+— "2" selecting *UDP source port* and "123" the port value (§5.3).
+
+This module defines the concrete namespace used by the reproduction and
+implements a reversible codec between :class:`~repro.core.rules.BlackholingRule`
+objects and sets of :class:`~repro.bgp.communities.ExtendedCommunity`.
+
+Layout
+------
+
+Every Stellar community uses ``type=0x80`` (the experimental two-octet-AS
+specific type), ``global_admin = IXP ASN``, and a ``subtype`` selecting the
+field being communicated:
+
+===========  ==========================  =====================================
+subtype      meaning                     local_admin payload (32 bit)
+===========  ==========================  =====================================
+``0x01``     selector + port             ``selector << 24 | port`` where the
+                                          selector follows the paper: 1 = TCP
+                                          source port, 2 = UDP source port,
+                                          3 = TCP destination port, 4 = UDP
+                                          destination port
+``0x02``     IP protocol filter          IANA protocol number
+``0x03``     action                      1 = drop, 2 = shape
+``0x04``     shape rate                  rate in Mbit/s
+``0x05``     predefined rule reference   rule id from the customer portal
+===========  ==========================  =====================================
+
+A drop rule for UDP source port 123 therefore encodes to exactly two
+communities: the selector/port community (``0x01``, ``2<<24 | 123``) and —
+only if non-default — the action community.  Plain "drop" is the default
+action, so the minimal signal stays a single community, matching the
+paper's "single BGP announcement" requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
+
+from ..bgp.communities import ExtendedCommunity
+from ..bgp.prefix import Prefix
+from ..traffic.packet import IpProtocol
+from .rules import BlackholingRule, RuleAction
+
+#: Experimental, two-octet AS specific extended community type.
+STELLAR_COMMUNITY_TYPE = 0x80
+
+# Subtypes.
+SUBTYPE_PORT_SELECTOR = 0x01
+SUBTYPE_PROTOCOL = 0x02
+SUBTYPE_ACTION = 0x03
+SUBTYPE_SHAPE_RATE = 0x04
+SUBTYPE_PREDEFINED_RULE = 0x05
+
+# Port selectors (paper §5.3: "2 refers to UDP source traffic").
+SELECTOR_TCP_SRC_PORT = 1
+SELECTOR_UDP_SRC_PORT = 2
+SELECTOR_TCP_DST_PORT = 3
+SELECTOR_UDP_DST_PORT = 4
+
+ACTION_DROP = 1
+ACTION_SHAPE = 2
+
+
+class CommunityDecodeError(ValueError):
+    """Raised when a set of extended communities is not a valid Stellar signal."""
+
+
+@dataclass(frozen=True)
+class DecodedSignal:
+    """The outcome of decoding a Stellar community set (before binding to a prefix)."""
+
+    action: RuleAction
+    protocol: Optional[IpProtocol]
+    src_port: Optional[int]
+    dst_port: Optional[int]
+    shape_rate_bps: float
+    predefined_rule_id: Optional[int]
+
+
+class StellarCommunityCodec:
+    """Bidirectional codec between blackholing rules and extended communities."""
+
+    def __init__(self, ixp_asn: int) -> None:
+        if not 0 < ixp_asn <= 0xFFFF:
+            raise ValueError(
+                "the two-octet-AS specific encoding requires a 16-bit IXP ASN, "
+                f"got {ixp_asn}"
+            )
+        self.ixp_asn = ixp_asn
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _community(self, subtype: int, payload: int) -> ExtendedCommunity:
+        return ExtendedCommunity(
+            type=STELLAR_COMMUNITY_TYPE,
+            subtype=subtype,
+            global_admin=self.ixp_asn,
+            local_admin=payload,
+        )
+
+    def is_stellar_community(self, community: ExtendedCommunity) -> bool:
+        """True if the community belongs to this IXP's Stellar namespace."""
+        return (
+            community.type == STELLAR_COMMUNITY_TYPE
+            and community.global_admin == self.ixp_asn
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, rule: BlackholingRule) -> Set[ExtendedCommunity]:
+        """Encode a rule into its extended-community representation.
+
+        The destination prefix is carried by the BGP NLRI, not by the
+        communities, so it does not appear here.
+        """
+        communities: Set[ExtendedCommunity] = set()
+
+        if rule.src_port is not None or rule.dst_port is not None:
+            if rule.protocol not in (IpProtocol.UDP, IpProtocol.TCP):
+                raise ValueError(
+                    "port-based rules must specify protocol UDP or TCP to be "
+                    "encodable as a Stellar community"
+                )
+            is_udp = rule.protocol is IpProtocol.UDP
+            if rule.src_port is not None:
+                selector = SELECTOR_UDP_SRC_PORT if is_udp else SELECTOR_TCP_SRC_PORT
+                communities.add(
+                    self._community(
+                        SUBTYPE_PORT_SELECTOR, (selector << 24) | rule.src_port
+                    )
+                )
+            if rule.dst_port is not None:
+                selector = SELECTOR_UDP_DST_PORT if is_udp else SELECTOR_TCP_DST_PORT
+                communities.add(
+                    self._community(
+                        SUBTYPE_PORT_SELECTOR, (selector << 24) | rule.dst_port
+                    )
+                )
+        elif rule.protocol is not None:
+            communities.add(self._community(SUBTYPE_PROTOCOL, int(rule.protocol)))
+
+        if rule.action is RuleAction.SHAPE:
+            communities.add(self._community(SUBTYPE_ACTION, ACTION_SHAPE))
+            rate_mbps = max(1, int(round(rule.shape_rate_bps / 1e6)))
+            communities.add(self._community(SUBTYPE_SHAPE_RATE, rate_mbps))
+        # Plain DROP is the default and may be omitted; we still emit it for
+        # rules with no other community so the signal is never empty.
+        elif not communities:
+            communities.add(self._community(SUBTYPE_ACTION, ACTION_DROP))
+        return communities
+
+    def encode_predefined(self, predefined_rule_id: int) -> Set[ExtendedCommunity]:
+        """Encode a reference to a portal-defined rule."""
+        if predefined_rule_id < 0 or predefined_rule_id > 0xFFFFFFFF:
+            raise ValueError("predefined rule id must fit in 32 bits")
+        return {self._community(SUBTYPE_PREDEFINED_RULE, predefined_rule_id)}
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, communities: Iterable[ExtendedCommunity]) -> DecodedSignal:
+        """Decode a community set into the signalled filter parameters."""
+        stellar = [c for c in communities if self.is_stellar_community(c)]
+        if not stellar:
+            raise CommunityDecodeError("no Stellar extended communities present")
+
+        action = RuleAction.DROP
+        protocol: Optional[IpProtocol] = None
+        src_port: Optional[int] = None
+        dst_port: Optional[int] = None
+        shape_rate_bps = 0.0
+        predefined: Optional[int] = None
+
+        for community in stellar:
+            payload = community.local_admin
+            if community.subtype == SUBTYPE_PORT_SELECTOR:
+                selector = (payload >> 24) & 0xFF
+                port = payload & 0xFFFF
+                if selector in (SELECTOR_UDP_SRC_PORT, SELECTOR_UDP_DST_PORT):
+                    protocol = IpProtocol.UDP
+                elif selector in (SELECTOR_TCP_SRC_PORT, SELECTOR_TCP_DST_PORT):
+                    protocol = IpProtocol.TCP
+                else:
+                    raise CommunityDecodeError(f"unknown port selector {selector}")
+                if selector in (SELECTOR_UDP_SRC_PORT, SELECTOR_TCP_SRC_PORT):
+                    src_port = port
+                else:
+                    dst_port = port
+            elif community.subtype == SUBTYPE_PROTOCOL:
+                try:
+                    protocol = IpProtocol(payload)
+                except ValueError as exc:
+                    raise CommunityDecodeError(
+                        f"unknown IP protocol number {payload}"
+                    ) from exc
+            elif community.subtype == SUBTYPE_ACTION:
+                if payload == ACTION_DROP:
+                    action = RuleAction.DROP
+                elif payload == ACTION_SHAPE:
+                    action = RuleAction.SHAPE
+                else:
+                    raise CommunityDecodeError(f"unknown action code {payload}")
+            elif community.subtype == SUBTYPE_SHAPE_RATE:
+                shape_rate_bps = float(payload) * 1e6
+                action = RuleAction.SHAPE
+            elif community.subtype == SUBTYPE_PREDEFINED_RULE:
+                predefined = payload
+            else:
+                raise CommunityDecodeError(
+                    f"unknown Stellar community subtype {community.subtype:#04x}"
+                )
+
+        if action is RuleAction.SHAPE and shape_rate_bps <= 0:
+            raise CommunityDecodeError("shape action signalled without a rate")
+        return DecodedSignal(
+            action=action,
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            shape_rate_bps=shape_rate_bps,
+            predefined_rule_id=predefined,
+        )
+
+    def to_rule(
+        self,
+        communities: Iterable[ExtendedCommunity],
+        owner_asn: int,
+        dst_prefix: Prefix,
+    ) -> tuple[Optional[BlackholingRule], Optional[int]]:
+        """Decode communities and bind them to a prefix/owner.
+
+        Returns ``(rule, predefined_rule_id)``: exactly one of the two is
+        non-None — signals referencing a portal-defined rule are resolved by
+        the signaling layer, not here.
+        """
+        signal = self.decode(communities)
+        if signal.predefined_rule_id is not None:
+            return None, signal.predefined_rule_id
+        rule = BlackholingRule(
+            owner_asn=owner_asn,
+            dst_prefix=dst_prefix,
+            action=signal.action,
+            protocol=signal.protocol,
+            src_port=signal.src_port,
+            dst_port=signal.dst_port,
+            shape_rate_bps=signal.shape_rate_bps,
+        )
+        return rule, None

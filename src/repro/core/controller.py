@@ -1,0 +1,255 @@
+"""The blackholing controller.
+
+The controller is the heart of Stellar's management layer (paper §4.4):
+
+* it maintains an iBGP session with the route server (with ADD-PATH, so it
+  sees every accepted path rather than only the best one),
+* a *BGP parser* consumes the message stream and a *BGP processor*
+  interprets the semantics, storing announced routes in a local RIB,
+* after every update it derives the set of blackholing rules requested by
+  the members (by decoding the Stellar extended communities, resolving
+  predefined-rule references through the customer portal, and translating
+  plain RTBH announcements into drop-all rules),
+* the difference against the previously active rule set yields abstract
+  configuration changes, which are pushed into the token-bucket change
+  queue towards the network manager.
+
+The controller is *passive*: it never announces routes itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..bgp.messages import RouteAnnouncement, UpdateMessage
+from ..bgp.prefix import Prefix
+from ..bgp.rib import RoutingInformationBase
+from ..bgp.session import BgpSession, SessionType
+from .change_queue import ChangeQueue, ChangeType, ConfigChange
+from .community_codec import CommunityDecodeError, StellarCommunityCodec
+from .portal import CustomerPortal
+from .rules import BlackholingRule, RuleAction
+
+#: Identity of a blackholing rule, independent of its action: the owner, the
+#: victim prefix and the match fields.  Two signals with the same key but a
+#: different action are an *update* of the same rule.
+RuleKey = Tuple[int, str, Optional[int], Optional[int], Optional[int], Optional[str], Optional[str]]
+
+
+def _rule_key(rule: BlackholingRule) -> RuleKey:
+    return (
+        rule.owner_asn,
+        str(rule.dst_prefix),
+        int(rule.protocol) if rule.protocol is not None else None,
+        rule.src_port,
+        rule.dst_port,
+        rule.src_mac,
+        str(rule.src_prefix) if rule.src_prefix is not None else None,
+    )
+
+
+@dataclass
+class ControllerStats:
+    """Operational counters of the controller."""
+
+    updates_processed: int = 0
+    announcements_seen: int = 0
+    withdrawals_seen: int = 0
+    signals_decoded: int = 0
+    decode_errors: int = 0
+    rules_added: int = 0
+    rules_removed: int = 0
+    rules_updated: int = 0
+
+
+class BlackholingController:
+    """Tracks blackholing rules signalled by members and emits config changes."""
+
+    def __init__(
+        self,
+        ixp_asn: int,
+        change_queue: Optional[ChangeQueue] = None,
+        portal: Optional[CustomerPortal] = None,
+        codec: Optional[StellarCommunityCodec] = None,
+        translate_rtbh: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.ixp_asn = ixp_asn
+        self.codec = codec if codec is not None else StellarCommunityCodec(ixp_asn)
+        self.portal = portal if portal is not None else CustomerPortal()
+        self.change_queue = change_queue if change_queue is not None else ChangeQueue()
+        #: Whether classic RTBH announcements (standard ``:666`` community)
+        #: are also translated into drop-all rules on the victim's port.
+        self.translate_rtbh = translate_rtbh
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.rib = RoutingInformationBase()
+        self.session = BgpSession(
+            local_asn=ixp_asn,
+            peer_asn=ixp_asn,
+            session_type=SessionType.IBGP,
+            add_path=True,
+            on_update=self.process_update,
+        )
+        self.session.open()
+        self.stats = ControllerStats()
+        #: Currently active rules, by identity key.
+        self._active_rules: Dict[RuleKey, BlackholingRule] = {}
+        #: Stable rule ids per identity key (so updates replace in place).
+        self._rule_ids: Dict[RuleKey, str] = {}
+
+    # ------------------------------------------------------------------
+    # BGP parser / processor
+    # ------------------------------------------------------------------
+    def process_update(self, update: UpdateMessage) -> List[ConfigChange]:
+        """Consume one UPDATE from the route server and emit config changes."""
+        self.stats.updates_processed += 1
+        for announcement in update.announcements:
+            self.stats.announcements_seen += 1
+            self.rib.add(announcement)
+        for withdrawal in update.withdrawals:
+            self.stats.withdrawals_seen += 1
+            # ADD-PATH: withdrawals carry the path id of the withdrawn path.
+            for route in self.rib.routes_for(withdrawal.prefix):
+                if withdrawal.path_id and route.path_id != withdrawal.path_id:
+                    continue
+                if not withdrawal.path_id or route.path_id == withdrawal.path_id:
+                    self.rib.remove_route(route)
+        return self._reconcile()
+
+    # ------------------------------------------------------------------
+    # Signal interpretation
+    # ------------------------------------------------------------------
+    def _rule_from_announcement(
+        self, announcement: RouteAnnouncement
+    ) -> Optional[BlackholingRule]:
+        """Derive the blackholing rule requested by one announcement, if any."""
+        attrs = announcement.attributes
+        owner = attrs.origin_asn
+        if owner is None:
+            return None
+
+        stellar_communities = [
+            community
+            for community in attrs.extended_communities
+            if self.codec.is_stellar_community(community)
+        ]
+        if stellar_communities:
+            try:
+                rule, predefined_id = self.codec.to_rule(
+                    stellar_communities, owner_asn=owner, dst_prefix=announcement.prefix
+                )
+            except CommunityDecodeError:
+                self.stats.decode_errors += 1
+                return None
+            self.stats.signals_decoded += 1
+            if predefined_id is not None:
+                try:
+                    return self.portal.resolve(
+                        predefined_id, member_asn=owner, dst_prefix=announcement.prefix
+                    )
+                except (KeyError, PermissionError):
+                    self.stats.decode_errors += 1
+                    return None
+            return rule
+
+        if self.translate_rtbh and attrs.has_blackhole_community:
+            # Classic RTBH signal: drop everything towards the prefix at the
+            # victim's egress port (no cooperation needed, unlike real RTBH).
+            self.stats.signals_decoded += 1
+            return BlackholingRule(
+                owner_asn=owner,
+                dst_prefix=announcement.prefix,
+                action=RuleAction.DROP,
+            )
+        return None
+
+    def desired_rules(self) -> Dict[RuleKey, BlackholingRule]:
+        """The rule set implied by the current RIB contents."""
+        desired: Dict[RuleKey, BlackholingRule] = {}
+        for route in self.rib.routes():
+            rule = self._rule_from_announcement(route)
+            if rule is None:
+                continue
+            key = _rule_key(rule)
+            # Preserve a stable rule id across updates of the same rule.
+            existing_id = self._rule_ids.get(key)
+            if existing_id is not None and rule.rule_id != existing_id:
+                rule = BlackholingRule(
+                    owner_asn=rule.owner_asn,
+                    dst_prefix=rule.dst_prefix,
+                    action=rule.action,
+                    protocol=rule.protocol,
+                    src_port=rule.src_port,
+                    dst_port=rule.dst_port,
+                    src_mac=rule.src_mac,
+                    src_prefix=rule.src_prefix,
+                    shape_rate_bps=rule.shape_rate_bps,
+                    rule_id=existing_id,
+                )
+            desired[key] = rule
+        return desired
+
+    # ------------------------------------------------------------------
+    # Reconciliation (RIB diff → config changes)
+    # ------------------------------------------------------------------
+    def _reconcile(self) -> List[ConfigChange]:
+        now = self._clock()
+        desired = self.desired_rules()
+        changes: List[ConfigChange] = []
+
+        for key, rule in desired.items():
+            if key not in self._active_rules:
+                self._rule_ids.setdefault(key, rule.rule_id)
+                changes.append(
+                    ConfigChange(
+                        change_type=ChangeType.ADD_RULE,
+                        rule=rule,
+                        target_member_asn=rule.owner_asn,
+                        enqueue_time=now,
+                    )
+                )
+                self.stats.rules_added += 1
+            else:
+                active = self._active_rules[key]
+                if (
+                    active.action != rule.action
+                    or active.shape_rate_bps != rule.shape_rate_bps
+                ):
+                    changes.append(
+                        ConfigChange(
+                            change_type=ChangeType.UPDATE_RULE,
+                            rule=rule,
+                            target_member_asn=rule.owner_asn,
+                            enqueue_time=now,
+                        )
+                    )
+                    self.stats.rules_updated += 1
+
+        for key, rule in list(self._active_rules.items()):
+            if key not in desired:
+                changes.append(
+                    ConfigChange(
+                        change_type=ChangeType.REMOVE_RULE,
+                        rule=rule,
+                        target_member_asn=rule.owner_asn,
+                        enqueue_time=now,
+                    )
+                )
+                self.stats.rules_removed += 1
+                self._rule_ids.pop(key, None)
+
+        self._active_rules = desired
+        for change in changes:
+            self.change_queue.enqueue(change)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_rules(self) -> List[BlackholingRule]:
+        """Rules currently requested by the members (post-reconciliation)."""
+        return list(self._active_rules.values())
+
+    def active_rule_count(self) -> int:
+        return len(self._active_rules)

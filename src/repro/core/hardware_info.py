@@ -1,0 +1,142 @@
+"""Hardware Information Base (HIB).
+
+Every network manager has access to a description of the hardware
+limitations of the switches it configures — the number of QoS policies
+allowed per port, the size of the TCAM pools, the maximum configuration
+update rate the control plane sustains (paper §4.4).  The configuration
+compiler consults the HIB to perform admission control: a change that would
+exceed the hardware limits is rejected before it ever reaches the device,
+which is part of the IXP operator's "traffic forwarding must be guaranteed
+at all times" constraint (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ixp.edge_router import EdgeRouter
+from ..ixp.tcam import TcamStatus
+from .rules import BlackholingRule
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission-control check."""
+
+    admitted: bool
+    status: TcamStatus
+    reason: str = ""
+
+
+@dataclass
+class DeviceCapabilities:
+    """Static capability description of one device, as stored in the HIB."""
+
+    device_name: str
+    port_count: int
+    mac_filter_capacity: int
+    l3l4_criteria_capacity: int
+    max_rules_per_port: int
+    max_update_rate_per_second: float
+
+    @classmethod
+    def from_router(
+        cls, router: EdgeRouter, max_rules_per_port: int = 256
+    ) -> "DeviceCapabilities":
+        return cls(
+            device_name=router.name,
+            port_count=router.profile.port_count,
+            mac_filter_capacity=router.profile.mac_filter_capacity,
+            l3l4_criteria_capacity=router.profile.l3l4_criteria_capacity,
+            max_rules_per_port=max_rules_per_port,
+            max_update_rate_per_second=router.max_sustainable_update_rate(),
+        )
+
+
+class HardwareInformationBase:
+    """Registry of devices, their capabilities and their live resource state."""
+
+    def __init__(self, max_rules_per_port: int = 256) -> None:
+        if max_rules_per_port <= 0:
+            raise ValueError("max_rules_per_port must be positive")
+        self.max_rules_per_port = max_rules_per_port
+        self._routers: Dict[str, EdgeRouter] = {}
+        self._capabilities: Dict[str, DeviceCapabilities] = {}
+        self._rules_per_port: Dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_router(self, router: EdgeRouter) -> DeviceCapabilities:
+        capabilities = DeviceCapabilities.from_router(
+            router, max_rules_per_port=self.max_rules_per_port
+        )
+        self._routers[router.name] = router
+        self._capabilities[router.name] = capabilities
+        return capabilities
+
+    def routers(self) -> List[EdgeRouter]:
+        return list(self._routers.values())
+
+    def capabilities(self, device_name: str) -> DeviceCapabilities:
+        try:
+            return self._capabilities[device_name]
+        except KeyError as exc:
+            raise KeyError(f"device {device_name!r} is not registered") from exc
+
+    def router_for_member(self, member_asn: int) -> Optional[EdgeRouter]:
+        """The registered router that hosts a member's port, if any."""
+        for router in self._routers.values():
+            if router.has_member(member_asn):
+                return router
+        return None
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def check_admission(
+        self, rule: BlackholingRule, member_asn: int
+    ) -> AdmissionDecision:
+        """Check whether installing ``rule`` for ``member_asn`` is feasible."""
+        router = self.router_for_member(member_asn)
+        if router is None:
+            return AdmissionDecision(
+                admitted=False,
+                status=TcamStatus.OK,
+                reason=f"AS{member_asn} is not connected to any registered device",
+            )
+        port = router.port_for(member_asn)
+        rules_on_port = len(port.rules())
+        if rules_on_port >= self.max_rules_per_port:
+            return AdmissionDecision(
+                admitted=False,
+                status=TcamStatus.OK,
+                reason=(
+                    f"port of AS{member_asn} already holds {rules_on_port} rules "
+                    f"(limit {self.max_rules_per_port})"
+                ),
+            )
+        status = router.check_capacity(rule.to_qos_rule())
+        if status is not TcamStatus.OK:
+            return AdmissionDecision(
+                admitted=False,
+                status=status,
+                reason=f"TCAM limit {status.value} on {router.name}",
+            )
+        return AdmissionDecision(admitted=True, status=TcamStatus.OK)
+
+    # ------------------------------------------------------------------
+    # Book-keeping used by the network manager
+    # ------------------------------------------------------------------
+    def note_rule_installed(self, device_name: str, port_id: int) -> None:
+        key = (device_name, port_id)
+        self._rules_per_port[key] = self._rules_per_port.get(key, 0) + 1
+
+    def note_rule_removed(self, device_name: str, port_id: int) -> None:
+        key = (device_name, port_id)
+        current = self._rules_per_port.get(key, 0)
+        self._rules_per_port[key] = max(0, current - 1)
+
+    def rules_on_port(self, device_name: str, port_id: int) -> int:
+        return self._rules_per_port.get((device_name, port_id), 0)

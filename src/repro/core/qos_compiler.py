@@ -1,0 +1,157 @@
+"""QoS configuration compiler (network-manager option 1).
+
+Compiles abstract configuration changes into the vendor-neutral QoS rules
+installed on the victim member's *egress* port (paper §4.5), and renders
+them into vendor-specific configuration snippets (Cisco extended ACLs,
+Juniper firewall filters, Nokia/Alcatel-Lucent QoS policies) for operators
+who want to inspect what would be pushed to the devices.
+
+Stellar filters on egress rather than ingress so that a rule change touches
+exactly one port configuration — the victim's — instead of the other
+(n − 1) member ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from ..ixp.qos import FilterAction, QosRule
+from .change_queue import ChangeType, ConfigChange
+from .rules import BlackholingRule
+
+
+class Vendor(Enum):
+    """Vendors for which textual configuration can be rendered."""
+
+    CISCO = "cisco"
+    JUNIPER = "juniper"
+    NOKIA = "nokia"
+
+
+@dataclass(frozen=True)
+class CompiledQosChange:
+    """One hardware-level change: install or remove a QoS rule on a port."""
+
+    operation: str  # "install" | "remove"
+    target_member_asn: int
+    qos_rule: QosRule
+    #: Number of low-level configuration statements this change expands to.
+    statement_count: int
+
+
+class QosConfigurationCompiler:
+    """Compiles abstract changes into egress-port QoS configurations."""
+
+    def __init__(self, vendor: Vendor = Vendor.NOKIA) -> None:
+        self.vendor = vendor
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, change: ConfigChange) -> List[CompiledQosChange]:
+        """Compile one abstract change into hardware-level operations.
+
+        ADD and UPDATE both become a single "install" (the data plane
+        replaces rules by id); REMOVE becomes a single "remove".
+        """
+        rule = change.rule
+        qos_rule = rule.to_qos_rule()
+        if change.change_type in (ChangeType.ADD_RULE, ChangeType.UPDATE_RULE):
+            operation = "install"
+        elif change.change_type is ChangeType.REMOVE_RULE:
+            operation = "remove"
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown change type {change.change_type}")
+        return [
+            CompiledQosChange(
+                operation=operation,
+                target_member_asn=change.target_member_asn,
+                qos_rule=qos_rule,
+                statement_count=self._statement_count(qos_rule),
+            )
+        ]
+
+    @staticmethod
+    def _statement_count(qos_rule: QosRule) -> int:
+        """How many configuration statements a rule expands to on the device."""
+        # One classification statement per match criterion plus one action
+        # statement (plus one queue statement for shaping).
+        criteria = qos_rule.match.l3l4_criteria + qos_rule.match.mac_filter_entries
+        action_statements = 2 if qos_rule.action is FilterAction.SHAPE else 1
+        return max(1, criteria) + action_statements
+
+    # ------------------------------------------------------------------
+    # Vendor rendering
+    # ------------------------------------------------------------------
+    def render(self, compiled: CompiledQosChange) -> str:
+        """Render a compiled change as a vendor configuration snippet."""
+        if self.vendor is Vendor.CISCO:
+            return self._render_cisco(compiled)
+        if self.vendor is Vendor.JUNIPER:
+            return self._render_juniper(compiled)
+        return self._render_nokia(compiled)
+
+    @staticmethod
+    def _match_terms(qos_rule: QosRule) -> dict:
+        match = qos_rule.match
+        return {
+            "dst": str(match.dst_prefix) if match.dst_prefix else "any",
+            "src": str(match.src_prefix) if match.src_prefix else "any",
+            "proto": match.protocol.name.lower() if match.protocol else "ip",
+            "src_port": match.src_port,
+            "dst_port": match.dst_port,
+            "src_mac": match.src_mac,
+        }
+
+    def _render_cisco(self, compiled: CompiledQosChange) -> str:
+        terms = self._match_terms(compiled.qos_rule)
+        name = f"STELLAR-{compiled.qos_rule.rule_id or 'rule'}"
+        lines = [f"ip access-list extended {name}"]
+        clause = f" deny {terms['proto']} {terms['src']} {terms['dst']}"
+        if terms["src_port"] is not None:
+            clause += f" eq {terms['src_port']}"
+        lines.append(clause)
+        lines.append(" permit ip any any")
+        if compiled.operation == "remove":
+            lines = [f"no ip access-list extended {name}"]
+        return "\n".join(lines)
+
+    def _render_juniper(self, compiled: CompiledQosChange) -> str:
+        terms = self._match_terms(compiled.qos_rule)
+        name = f"stellar-{compiled.qos_rule.rule_id or 'rule'}"
+        if compiled.operation == "remove":
+            return f"delete firewall family inet filter {name}"
+        lines = [f"set firewall family inet filter {name} term match-attack from"]
+        if terms["dst"] != "any":
+            lines.append(f"    destination-address {terms['dst']}")
+        if terms["proto"] != "ip":
+            lines.append(f"    protocol {terms['proto']}")
+        if terms["src_port"] is not None:
+            lines.append(f"    source-port {terms['src_port']}")
+        action = (
+            "discard"
+            if compiled.qos_rule.action is FilterAction.DROP
+            else f"policer shape-{int(compiled.qos_rule.shape_rate_bps / 1e6)}m"
+        )
+        lines.append(f"set firewall family inet filter {name} term match-attack then {action}")
+        return "\n".join(lines)
+
+    def _render_nokia(self, compiled: CompiledQosChange) -> str:
+        terms = self._match_terms(compiled.qos_rule)
+        rule_id = compiled.qos_rule.rule_id or "rule"
+        if compiled.operation == "remove":
+            return f"configure qos sap-egress delete entry {rule_id}"
+        lines = [f"configure qos sap-egress entry {rule_id} create"]
+        lines.append(f"    match protocol {terms['proto']}")
+        if terms["dst"] != "any":
+            lines.append(f"    match dst-ip {terms['dst']}")
+        if terms["src_port"] is not None:
+            lines.append(f"    match src-port eq {terms['src_port']}")
+        if compiled.qos_rule.action is FilterAction.DROP:
+            lines.append("    action queue drop-queue")
+        else:
+            rate_mbps = int(compiled.qos_rule.shape_rate_bps / 1e6)
+            lines.append(f"    action queue shaping-queue rate {rate_mbps} mbps")
+        return "\n".join(lines)

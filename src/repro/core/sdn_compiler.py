@@ -1,0 +1,177 @@
+"""SDN configuration compiler (network-manager option 2).
+
+The second realization of Stellar's network manager targets an SDN/SDX data
+plane (paper §4.4 and the SOSR'17 demo [25]): abstract configuration
+changes become OpenFlow-style match/action flow-mod messages.  The
+reproduction keeps the flow mods as structured dictionaries plus a small
+:class:`OpenFlowSwitchSim` that honours them, so the SDN deployment option
+can be exercised end-to-end and compared against the QoS option in the
+signalling/deployment ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ixp.qos import FilterAction
+from ..traffic.flow import FlowRecord
+from ..traffic.packet import IpProtocol
+from .change_queue import ChangeType, ConfigChange
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """An OpenFlow-like flow modification message."""
+
+    command: str  # "add" | "delete"
+    priority: int
+    match: Dict[str, object]
+    instructions: Dict[str, object]
+    cookie: str = ""
+
+    def matches(self, flow: FlowRecord) -> bool:
+        """Evaluate the match fields against a flow record."""
+        match = self.match
+        if "ipv4_dst" in match:
+            from ..bgp.prefix import Prefix
+
+            if not Prefix.parse(str(match["ipv4_dst"])).contains_address(flow.dst_ip):
+                return False
+        if "ipv4_src" in match:
+            from ..bgp.prefix import Prefix
+
+            if not Prefix.parse(str(match["ipv4_src"])).contains_address(flow.src_ip):
+                return False
+        if "eth_src" in match and flow.src_mac.lower() != str(match["eth_src"]).lower():
+            return False
+        if "ip_proto" in match and int(flow.protocol) != int(match["ip_proto"]):
+            return False
+        if "udp_src" in match and not (
+            flow.protocol is IpProtocol.UDP and flow.src_port == int(match["udp_src"])
+        ):
+            return False
+        if "udp_dst" in match and not (
+            flow.protocol is IpProtocol.UDP and flow.dst_port == int(match["udp_dst"])
+        ):
+            return False
+        if "tcp_src" in match and not (
+            flow.protocol is IpProtocol.TCP and flow.src_port == int(match["tcp_src"])
+        ):
+            return False
+        if "tcp_dst" in match and not (
+            flow.protocol is IpProtocol.TCP and flow.dst_port == int(match["tcp_dst"])
+        ):
+            return False
+        return True
+
+
+class SdnConfigurationCompiler:
+    """Compiles abstract changes into OpenFlow flow mods."""
+
+    #: Priority assigned to blackholing rules (above the default forwarding).
+    BLACKHOLE_PRIORITY = 1000
+
+    def compile(self, change: ConfigChange) -> List[FlowMod]:
+        """Compile one abstract change into flow-mod messages."""
+        rule = change.rule
+        match: Dict[str, object] = {"eth_type": 0x0800, "ipv4_dst": str(rule.dst_prefix)}
+        if rule.src_prefix is not None:
+            match["ipv4_src"] = str(rule.src_prefix)
+        if rule.src_mac is not None:
+            match["eth_src"] = rule.src_mac
+        if rule.protocol is not None:
+            match["ip_proto"] = int(rule.protocol)
+        if rule.src_port is not None and rule.protocol is not None:
+            key = "udp_src" if rule.protocol is IpProtocol.UDP else "tcp_src"
+            match[key] = rule.src_port
+        if rule.dst_port is not None and rule.protocol is not None:
+            key = "udp_dst" if rule.protocol is IpProtocol.UDP else "tcp_dst"
+            match[key] = rule.dst_port
+
+        qos_rule = rule.to_qos_rule()
+        if qos_rule.action is FilterAction.DROP:
+            instructions: Dict[str, object] = {"action": "drop"}
+        else:
+            instructions = {
+                "action": "meter",
+                "meter_rate_kbps": int(qos_rule.shape_rate_bps / 1000),
+                "then": "output:member_port",
+            }
+
+        command = (
+            "delete" if change.change_type is ChangeType.REMOVE_RULE else "add"
+        )
+        return [
+            FlowMod(
+                command=command,
+                priority=self.BLACKHOLE_PRIORITY,
+                match=match,
+                instructions=instructions,
+                cookie=rule.rule_id,
+            )
+        ]
+
+
+class OpenFlowSwitchSim:
+    """A minimal OpenFlow switch honouring the compiled flow mods.
+
+    Used by tests and the SDN-deployment example to validate that the SDN
+    compilation path drops/shapes the same traffic as the QoS path.
+    """
+
+    def __init__(self, flow_table_capacity: int = 4096) -> None:
+        if flow_table_capacity <= 0:
+            raise ValueError("flow_table_capacity must be positive")
+        self.flow_table_capacity = flow_table_capacity
+        self._table: Dict[str, FlowMod] = {}
+
+    def apply_flow_mod(self, flow_mod: FlowMod) -> None:
+        """Install or delete a flow-table entry."""
+        if flow_mod.command == "delete":
+            self._table.pop(flow_mod.cookie, None)
+            return
+        if (
+            flow_mod.cookie not in self._table
+            and len(self._table) >= self.flow_table_capacity
+        ):
+            raise RuntimeError("flow table is full")
+        self._table[flow_mod.cookie] = flow_mod
+
+    def table_size(self) -> int:
+        return len(self._table)
+
+    def entries(self) -> List[FlowMod]:
+        return list(self._table.values())
+
+    def classify(self, flow: FlowRecord) -> Optional[FlowMod]:
+        """The highest-priority matching entry, or None (default forward)."""
+        matching = [entry for entry in self._table.values() if entry.matches(flow)]
+        if not matching:
+            return None
+        return max(matching, key=lambda entry: entry.priority)
+
+    def forward(
+        self, flows: Sequence[FlowRecord], interval: float
+    ) -> Dict[str, List[FlowRecord]]:
+        """Split flows into forwarded / dropped / metered per the flow table."""
+        result: Dict[str, List[FlowRecord]] = {"forward": [], "drop": [], "meter": []}
+        metered: Dict[str, List[FlowRecord]] = {}
+        meter_rates: Dict[str, float] = {}
+        for flow in flows:
+            entry = self.classify(flow)
+            if entry is None:
+                result["forward"].append(flow)
+            elif entry.instructions.get("action") == "drop":
+                result["drop"].append(flow)
+            else:
+                metered.setdefault(entry.cookie, []).append(flow)
+                meter_rates[entry.cookie] = (
+                    float(entry.instructions.get("meter_rate_kbps", 0)) * 1000
+                )
+        for cookie, matched in metered.items():
+            budget_bits = meter_rates[cookie] * interval
+            offered_bits = sum(flow.bits for flow in matched)
+            scale = min(1.0, budget_bits / offered_bits) if offered_bits > 0 else 0.0
+            result["meter"].extend(flow.scaled(scale) for flow in matched)
+        return result

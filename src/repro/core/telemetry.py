@@ -1,0 +1,159 @@
+"""Telemetry for Advanced Blackholing users.
+
+One of the design requirements (§3.1) is that the network under attack can
+still observe the state of the attack: shaped traffic gives the victim a
+bounded live sample, and the IXP exposes statistics about the discarded
+traffic so the member can decide when to terminate or tighten the
+mitigation.  :class:`TelemetryCollector` aggregates per-rule and per-member
+counters from the data-plane results and renders member-facing reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ixp.qos import FilterAction, PortQosResult
+
+
+@dataclass
+class RuleTelemetry:
+    """Cumulative counters for one blackholing rule."""
+
+    rule_id: str
+    member_asn: int
+    matched_bits: float = 0.0
+    dropped_bits: float = 0.0
+    shaped_passed_bits: float = 0.0
+    shaped_dropped_bits: float = 0.0
+    last_update: float = 0.0
+    #: (time, matched_bps) samples for the member's attack-status view.
+    samples: List[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def filtered_bits(self) -> float:
+        return self.dropped_bits + self.shaped_dropped_bits
+
+    def matched_rate_bps(self, interval: float) -> float:
+        """Matched traffic rate of the most recent interval."""
+        if not self.samples or interval <= 0:
+            return 0.0
+        return self.samples[-1][1]
+
+    @property
+    def attack_appears_over(self) -> bool:
+        """Heuristic the member can use: no matched traffic in the last sample."""
+        return bool(self.samples) and self.samples[-1][1] == 0.0
+
+
+@dataclass
+class MemberTelemetryReport:
+    """Member-facing summary across all of the member's rules."""
+
+    member_asn: int
+    time: float
+    rules: List[RuleTelemetry]
+
+    @property
+    def total_filtered_bits(self) -> float:
+        return sum(rule.filtered_bits for rule in self.rules)
+
+    @property
+    def total_shaped_passed_bits(self) -> float:
+        return sum(rule.shaped_passed_bits for rule in self.rules)
+
+    @property
+    def active_rule_count(self) -> int:
+        return len(self.rules)
+
+
+class TelemetryCollector:
+    """Aggregates data-plane results into per-rule telemetry."""
+
+    def __init__(self) -> None:
+        self._by_rule: Dict[str, RuleTelemetry] = {}
+
+    # ------------------------------------------------------------------
+    def record_interval(
+        self,
+        member_asn: int,
+        result: PortQosResult,
+        interval: float,
+        time: float,
+    ) -> None:
+        """Fold one interval's :class:`PortQosResult` into the counters."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        matched_bits_by_rule: Dict[str, float] = {}
+        dropped_bits_by_rule: Dict[str, float] = {}
+        shaped_bits_by_rule: Dict[str, float] = {}
+
+        for flow in result.dropped:
+            rule_id = self._rule_id_for(result, flow, FilterAction.DROP)
+            matched_bits_by_rule[rule_id] = matched_bits_by_rule.get(rule_id, 0.0) + flow.bits
+            dropped_bits_by_rule[rule_id] = dropped_bits_by_rule.get(rule_id, 0.0) + flow.bits
+        for flow in result.shaped:
+            rule_id = self._rule_id_for(result, flow, FilterAction.SHAPE)
+            matched_bits_by_rule[rule_id] = matched_bits_by_rule.get(rule_id, 0.0) + flow.bits
+            shaped_bits_by_rule[rule_id] = shaped_bits_by_rule.get(rule_id, 0.0) + flow.bits
+
+        rule_ids = set(matched_bits_by_rule) | set(dropped_bits_by_rule) | set(shaped_bits_by_rule)
+        for rule_id in rule_ids:
+            telemetry = self._by_rule.setdefault(
+                rule_id, RuleTelemetry(rule_id=rule_id, member_asn=member_asn)
+            )
+            matched = matched_bits_by_rule.get(rule_id, 0.0)
+            telemetry.matched_bits += matched
+            telemetry.dropped_bits += dropped_bits_by_rule.get(rule_id, 0.0)
+            telemetry.shaped_passed_bits += shaped_bits_by_rule.get(rule_id, 0.0)
+            telemetry.shaped_dropped_bits += max(
+                0.0, result.shaped_dropped_bits if rule_id in shaped_bits_by_rule else 0.0
+            )
+            telemetry.last_update = time
+            telemetry.samples.append((time, matched / interval))
+
+    @staticmethod
+    def _rule_id_for(result: PortQosResult, flow, action: FilterAction) -> str:
+        # The PortQosResult does not retain the per-flow rule attribution, so
+        # telemetry groups drops and shapes under synthetic per-action ids
+        # unless the caller records per-rule results explicitly.
+        return f"{action.value}"
+
+    # ------------------------------------------------------------------
+    def record_rule_interval(
+        self,
+        rule_id: str,
+        member_asn: int,
+        matched_bits: float,
+        dropped_bits: float,
+        shaped_passed_bits: float,
+        interval: float,
+        time: float,
+    ) -> RuleTelemetry:
+        """Explicit per-rule recording (used by the Stellar facade)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        telemetry = self._by_rule.setdefault(
+            rule_id, RuleTelemetry(rule_id=rule_id, member_asn=member_asn)
+        )
+        telemetry.matched_bits += matched_bits
+        telemetry.dropped_bits += dropped_bits
+        telemetry.shaped_passed_bits += shaped_passed_bits
+        telemetry.last_update = time
+        telemetry.samples.append((time, matched_bits / interval))
+        return telemetry
+
+    # ------------------------------------------------------------------
+    def telemetry_for_rule(self, rule_id: str) -> Optional[RuleTelemetry]:
+        return self._by_rule.get(rule_id)
+
+    def report_for_member(self, member_asn: int, time: float = 0.0) -> MemberTelemetryReport:
+        rules = [
+            telemetry
+            for telemetry in self._by_rule.values()
+            if telemetry.member_asn == member_asn
+        ]
+        return MemberTelemetryReport(member_asn=member_asn, time=time, rules=rules)
+
+    def all_rules(self) -> List[RuleTelemetry]:
+        return list(self._by_rule.values())

@@ -1,0 +1,108 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+===========  ==========================================================
+Experiment    Driver
+===========  ==========================================================
+Table 1       :mod:`repro.experiments.table1`
+Fig. 2(c)     :mod:`repro.experiments.collateral_damage`
+Fig. 3(a)     :mod:`repro.experiments.port_distribution`
+Fig. 3(b)     :mod:`repro.experiments.policy_control`
+Fig. 3(c)     :mod:`repro.experiments.rtbh_attack`
+Fig. 9        :mod:`repro.experiments.scaling`
+Fig. 10(a)    :mod:`repro.experiments.cpu_update_rate`
+Fig. 10(b)    :mod:`repro.experiments.change_queueing`
+Fig. 10(c)    :mod:`repro.experiments.stellar_attack`
+§5.2 lab      :mod:`repro.experiments.functionality`
+===========  ==========================================================
+"""
+
+from .change_queueing import (
+    ChangeQueueingConfig,
+    ChangeQueueingResult,
+    generate_change_arrivals,
+    run_change_queueing_experiment,
+)
+from .collateral_damage import (
+    CollateralDamageConfig,
+    CollateralDamageResult,
+    run_collateral_damage_experiment,
+)
+from .cpu_update_rate import (
+    CpuUpdateRateConfig,
+    CpuUpdateRateResult,
+    run_cpu_update_rate_experiment,
+)
+from .functionality import (
+    FunctionalityConfig,
+    FunctionalityResult,
+    run_functionality_experiment,
+)
+from .policy_control import (
+    PAPER_FIG3B_SHARES,
+    PolicyControlConfig,
+    PolicyControlResult,
+    run_policy_control_experiment,
+)
+from .port_distribution import (
+    PortDistributionConfig,
+    PortDistributionResult,
+    run_port_distribution_experiment,
+)
+from .rtbh_attack import RtbhAttackConfig, RtbhAttackResult, run_rtbh_attack_experiment
+from .scaling import (
+    PAPER_FIG9,
+    ScalingConfig,
+    ScalingMatrix,
+    ScalingResult,
+    run_scaling_experiment,
+)
+from .scenario import AttackScenario, build_attack_scenario
+from .stellar_attack import (
+    StellarAttackConfig,
+    StellarAttackResult,
+    run_stellar_attack_experiment,
+)
+from .table1 import (
+    QuantitativeComparisonResult,
+    build_table1,
+    run_quantitative_comparison,
+)
+
+__all__ = [
+    "ChangeQueueingConfig",
+    "ChangeQueueingResult",
+    "generate_change_arrivals",
+    "run_change_queueing_experiment",
+    "CollateralDamageConfig",
+    "CollateralDamageResult",
+    "run_collateral_damage_experiment",
+    "CpuUpdateRateConfig",
+    "CpuUpdateRateResult",
+    "run_cpu_update_rate_experiment",
+    "FunctionalityConfig",
+    "FunctionalityResult",
+    "run_functionality_experiment",
+    "PAPER_FIG3B_SHARES",
+    "PolicyControlConfig",
+    "PolicyControlResult",
+    "run_policy_control_experiment",
+    "PortDistributionConfig",
+    "PortDistributionResult",
+    "run_port_distribution_experiment",
+    "RtbhAttackConfig",
+    "RtbhAttackResult",
+    "run_rtbh_attack_experiment",
+    "PAPER_FIG9",
+    "ScalingConfig",
+    "ScalingMatrix",
+    "ScalingResult",
+    "run_scaling_experiment",
+    "AttackScenario",
+    "build_attack_scenario",
+    "StellarAttackConfig",
+    "StellarAttackResult",
+    "run_stellar_attack_experiment",
+    "QuantitativeComparisonResult",
+    "build_table1",
+    "run_quantitative_comparison",
+]

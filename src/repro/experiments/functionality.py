@@ -1,0 +1,182 @@
+"""§5.2 functionality validation: the drop/shape/forward queue behaviour.
+
+The lab validation drives a hardware traffic generator at 10 Gbps towards a
+member port of 1 Gbps capacity and verifies that
+
+* flows redirected to a dropping queue are not forwarded,
+* flows redirected to a shaping queue share the shaping queue's rate limit,
+* forwarded flows share the forwarding queue's (port-capacity) rate limit,
+* redirecting the attack vectors (NTP, DNS) leaves the benign traffic
+  untouched, for every targeted IP address.
+
+The experiment reproduces this with the flow-level data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.rules import BlackholingRule
+from ..core.stellar import Stellar
+from ..ixp.edge_router import EdgeRouter
+from ..ixp.fabric import SwitchingFabric
+from ..ixp.member import IxpMember
+from ..traffic.attacks import AmplificationAttack, BenignTrafficSource
+from ..traffic.amplification import get_vector
+from ..traffic.packet import WellKnownPort
+
+
+@dataclass
+class FunctionalityConfig:
+    """Parameters of the lab functionality validation."""
+
+    victim_port_capacity_bps: float = 1e9
+    generator_rate_bps: float = 10e9
+    benign_rate_bps: float = 400e6
+    shape_rate_bps: float = 100e6
+    interval: float = 10.0
+    target_ip_count: int = 3
+    peer_count: int = 4
+    seed: int = 3
+
+
+@dataclass
+class FunctionalityResult:
+    """Per-phase delivery rates (bps) towards the member."""
+
+    config: FunctionalityConfig
+    #: Delivered rate with no rules installed (congested port).
+    baseline_delivered_bps: float
+    #: Delivered rate per target IP after installing drop rules for NTP/DNS.
+    dropped_phase_delivered_bps: Dict[str, float]
+    #: Attack traffic delivered per target IP after the drop rules.
+    dropped_phase_attack_bps: Dict[str, float]
+    #: Delivered rate per target IP with shaping rules instead of drops.
+    shaped_phase_delivered_bps: Dict[str, float]
+    #: Attack traffic delivered per target IP in the shaping phase.
+    shaped_phase_attack_bps: Dict[str, float]
+
+    def summary(self) -> Dict[str, float]:
+        summary = {"baseline_delivered_mbps": self.baseline_delivered_bps / 1e6}
+        for ip, rate in self.dropped_phase_attack_bps.items():
+            summary[f"drop_attack_mbps_{ip}"] = rate / 1e6
+        for ip, rate in self.shaped_phase_attack_bps.items():
+            summary[f"shape_attack_mbps_{ip}"] = rate / 1e6
+        return summary
+
+
+def _build_system(config: FunctionalityConfig):
+    fabric = SwitchingFabric(name="lab")
+    fabric.add_edge_router(EdgeRouter("lab-er", seed=config.seed))
+    stellar = Stellar(ixp_asn=64700, fabric=fabric)
+    victim = IxpMember(
+        asn=64500,
+        port_capacity_bps=config.victim_port_capacity_bps,
+        prefixes=["100.10.10.0/24"],
+    )
+    peers = [IxpMember(asn=65000 + i) for i in range(config.peer_count)]
+    stellar.add_member(victim)
+    stellar.add_members(peers)
+    return stellar, victim, peers
+
+
+def _traffic_for(
+    config: FunctionalityConfig, targets: List[str], peers: List[IxpMember], t: float
+):
+    """10 Gbps of NTP + DNS attack traffic plus benign web traffic."""
+    flows = []
+    per_target_attack = config.generator_rate_bps / (2 * len(targets))
+    for index, ip in enumerate(targets):
+        for vector_index, vector_name in enumerate(("ntp", "dns")):
+            attack = AmplificationAttack(
+                victim_ip=ip,
+                vector=get_vector(vector_name),
+                peak_rate_bps=per_target_attack,
+                start=0.0,
+                duration=1e9,
+                ingress_member_asns=[peer.asn for peer in peers],
+                victim_member_asn=64500,
+                reflector_count=20,
+                ramp_seconds=0.0,
+                seed=config.seed + index * 10 + vector_index,
+            )
+            flows.extend(attack.flows(t, config.interval))
+        benign = BenignTrafficSource(
+            dst_ip=ip,
+            egress_member_asn=64500,
+            ingress_member_asns=[peer.asn for peer in peers],
+            rate_bps=config.benign_rate_bps / len(targets),
+            seed=config.seed + 100 + index,
+        )
+        flows.extend(benign.flows(t, config.interval))
+    return flows
+
+
+def run_functionality_experiment(
+    config: FunctionalityConfig | None = None,
+) -> FunctionalityResult:
+    """Run the three validation phases (baseline, drop, shape)."""
+    config = config if config is not None else FunctionalityConfig()
+    targets = [f"100.10.10.{10 + i}" for i in range(config.target_ip_count)]
+
+    # Phase 1: no rules — the 1 Gbps port is congested by the 10 Gbps load.
+    stellar, victim, peers = _build_system(config)
+    flows = _traffic_for(config, targets, peers, t=0.0)
+    report = stellar.deliver_traffic(flows, config.interval, interval_start=0.0)
+    baseline = report.fabric_report.results_by_member[victim.asn].delivered_bits / config.interval
+
+    # Phase 2: drop NTP and DNS per target IP.
+    stellar, victim, peers = _build_system(config)
+    for ip in targets:
+        for port in (int(WellKnownPort.NTP), int(WellKnownPort.DNS)):
+            rule = BlackholingRule.drop_udp_source_port(victim.asn, f"{ip}/32", port)
+            stellar.request_mitigation(rule, via="api")
+    stellar.process_control_plane(now=10.0)
+    flows = _traffic_for(config, targets, peers, t=20.0)
+    report = stellar.deliver_traffic(flows, config.interval, interval_start=20.0)
+    result = report.fabric_report.results_by_member[victim.asn]
+    dropped_delivered: Dict[str, float] = {}
+    dropped_attack: Dict[str, float] = {}
+    delivered_flows = result.forwarded + result.shaped
+    for ip in targets:
+        dropped_delivered[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / config.interval
+        )
+        dropped_attack[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip and flow.is_attack)
+            / config.interval
+        )
+
+    # Phase 3: shape NTP and DNS per target IP instead of dropping.
+    stellar, victim, peers = _build_system(config)
+    for ip in targets:
+        for port in (int(WellKnownPort.NTP), int(WellKnownPort.DNS)):
+            rule = BlackholingRule.shape_udp_source_port(
+                victim.asn, f"{ip}/32", port, rate_bps=config.shape_rate_bps
+            )
+            stellar.request_mitigation(rule, via="api")
+    stellar.process_control_plane(now=10.0)
+    flows = _traffic_for(config, targets, peers, t=20.0)
+    report = stellar.deliver_traffic(flows, config.interval, interval_start=20.0)
+    result = report.fabric_report.results_by_member[victim.asn]
+    shaped_delivered: Dict[str, float] = {}
+    shaped_attack: Dict[str, float] = {}
+    delivered_flows = result.forwarded + result.shaped
+    for ip in targets:
+        shaped_delivered[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / config.interval
+        )
+        shaped_attack[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip and flow.is_attack)
+            / config.interval
+        )
+
+    return FunctionalityResult(
+        config=config,
+        baseline_delivered_bps=baseline,
+        dropped_phase_delivered_bps=dropped_delivered,
+        dropped_phase_attack_bps=dropped_attack,
+        shaped_phase_delivered_bps=shaped_delivered,
+        shaped_phase_attack_bps=shaped_attack,
+    )

@@ -1,0 +1,119 @@
+"""Fig. 3(b): usage of policy control for RTBH announcements.
+
+For more than 93 % of the blackholing events at L-IXP, the prefix owner
+asks **all** route-server participants to blackhole the traffic; a small
+tail scopes the announcement with exceptions ("All-1", "All-4", "All-5",
+"All-18") or to an explicit list of peers ("20", "21").  The experiment
+generates a synthetic RTBH announcement log with the paper's category
+probabilities, pushes every announcement through the RTBH service (so the
+policy controls are exercised end to end), and recovers the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.compliance import PolicyControlDistribution, policy_control_distribution
+from ..bgp.route_server import PolicyControl
+from ..mitigation.rtbh import RtbhService
+from ..sim.rng import make_rng
+
+#: The paper's reported shares per category (Fig. 3(b)), used as sampling
+#: weights for the synthetic announcement log.
+PAPER_FIG3B_SHARES: Dict[str, float] = {
+    "All-18": 0.0003,
+    "All-5": 0.0049,
+    "All-4": 0.0013,
+    "All-1": 0.0528,
+    "All": 0.9397,
+    "20": 0.0006,
+    "21": 0.0003,
+}
+
+
+@dataclass
+class PolicyControlConfig:
+    """Parameters of the Fig. 3(b) experiment."""
+
+    announcement_count: int = 20000
+    member_count: int = 650
+    ixp_asn: int = 64700
+    seed: int = 13
+    category_shares: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_FIG3B_SHARES)
+    )
+
+
+@dataclass
+class PolicyControlResult:
+    """The recovered announcement-share distribution."""
+
+    config: PolicyControlConfig
+    distribution: PolicyControlDistribution
+    events: int
+
+    def share_of(self, category: str) -> float:
+        return self.distribution.share_of(category)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            f"share_{category}": self.share_of(category)
+            for category in self.config.category_shares
+        }
+
+
+def _control_for_category(
+    category: str, member_asns: Sequence[int], victim_asn: int, rng
+) -> PolicyControl:
+    """Build the PolicyControl matching a Fig. 3(b) category label."""
+    others = [asn for asn in member_asns if asn != victim_asn]
+    if category == "All":
+        return PolicyControl()
+    if category.startswith("All-"):
+        count = int(category.split("-")[1])
+        excluded = rng.choice(len(others), size=min(count, len(others)), replace=False)
+        return PolicyControl(
+            announce_to_all=True,
+            except_asns=frozenset(others[i] for i in excluded),
+        )
+    count = int(category)
+    included = rng.choice(len(others), size=min(count, len(others)), replace=False)
+    return PolicyControl(
+        announce_to_all=False,
+        only_asns=frozenset(others[i] for i in included),
+    )
+
+
+def run_policy_control_experiment(
+    config: PolicyControlConfig | None = None,
+) -> PolicyControlResult:
+    """Generate the announcement log and recover the category distribution."""
+    config = config if config is not None else PolicyControlConfig()
+    rng = make_rng(config.seed)
+    member_asns = [65000 + i for i in range(config.member_count)]
+    service = RtbhService(ixp_asn=config.ixp_asn, seed=config.seed + 1)
+
+    categories = list(config.category_shares)
+    weights = [config.category_shares[category] for category in categories]
+    total = sum(weights)
+    probabilities = [weight / total for weight in weights]
+
+    controls: List[PolicyControl] = []
+    for i in range(config.announcement_count):
+        category = categories[int(rng.choice(len(categories), p=probabilities))]
+        victim = member_asns[int(rng.integers(0, len(member_asns)))]
+        control = _control_for_category(category, member_asns, victim, rng)
+        event = service.request_blackhole(
+            victim_asn=victim,
+            prefix=f"100.{64 + i % 64}.{(i // 250) % 250 + 1}.{i % 250 + 1}/32",
+            peer_asns=member_asns,
+            policy_control=control,
+        )
+        controls.append(event.policy_control)
+
+    return PolicyControlResult(
+        config=config,
+        distribution=policy_control_distribution(controls),
+        events=len(controls),
+    )

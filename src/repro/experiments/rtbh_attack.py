@@ -1,0 +1,161 @@
+"""Fig. 3(c): active DDoS attack exposing RTBH ineffectiveness.
+
+The controlled experiment of §2.4: a booter attack of roughly 1 Gbps
+against the experimental AS, arriving from ~40 peers.  280 seconds into the
+experiment the victim signals an RTBH /32 announcement to the route server.
+Because only a minority of peers honour the blackholing community, the
+traffic level only drops to 600–800 Mbps and the number of peers decreases
+by about 25 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.timeseries import AttackTimeSeries
+from ..mitigation.rtbh import RtbhMitigation
+from ..traffic.flow import distinct_ingress_members
+from .scenario import AttackScenario, build_attack_scenario
+
+
+@dataclass
+class RtbhAttackConfig:
+    """Parameters of the Fig. 3(c) experiment."""
+
+    duration: float = 900.0
+    interval: float = 10.0
+    attack_start: float = 100.0
+    attack_duration: float = 600.0
+    attack_peak_bps: float = 1e9
+    peer_count: int = 40
+    blackhole_time: float = 380.0  # 280 s after the attack starts at 100 s.
+    compliance_rate: float = 0.30
+    benign_rate_bps: float = 50e6
+    seed: int = 7
+
+
+@dataclass
+class RtbhAttackResult:
+    """Time series and summary numbers of the Fig. 3(c) experiment."""
+
+    config: RtbhAttackConfig
+    series: AttackTimeSeries
+    honoring_peer_count: int
+    total_peer_count: int
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_attack_mbps(self) -> float:
+        """Peak delivered rate before mitigation."""
+        return self.series.window(
+            self.config.attack_start, self.config.blackhole_time
+        ).peak_mbps()
+
+    @property
+    def residual_mbps(self) -> float:
+        """Mean delivered rate after the RTBH signal (while the attack runs)."""
+        return self.series.mean_mbps(
+            self.config.blackhole_time + 2 * self.config.interval,
+            self.config.attack_start + self.config.attack_duration,
+        )
+
+    @property
+    def peers_before_blackhole(self) -> float:
+        return self.series.mean_peers(
+            self.config.blackhole_time - 5 * self.config.interval,
+            self.config.blackhole_time,
+        )
+
+    @property
+    def peers_after_blackhole(self) -> float:
+        return self.series.mean_peers(
+            self.config.blackhole_time + 2 * self.config.interval,
+            self.config.attack_start + self.config.attack_duration,
+        )
+
+    @property
+    def peer_reduction_fraction(self) -> float:
+        before = self.peers_before_blackhole
+        if before == 0:
+            return 0.0
+        return max(0.0, (before - self.peers_after_blackhole) / before)
+
+    @property
+    def traffic_reduction_fraction(self) -> float:
+        peak = self.peak_attack_mbps
+        if peak == 0:
+            return 0.0
+        return max(0.0, (peak - self.residual_mbps) / peak)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "peak_attack_mbps": self.peak_attack_mbps,
+            "residual_mbps": self.residual_mbps,
+            "traffic_reduction_fraction": self.traffic_reduction_fraction,
+            "peers_before_blackhole": self.peers_before_blackhole,
+            "peers_after_blackhole": self.peers_after_blackhole,
+            "peer_reduction_fraction": self.peer_reduction_fraction,
+            "compliance_rate": self.honoring_peer_count / self.total_peer_count
+            if self.total_peer_count
+            else 0.0,
+        }
+
+
+def run_rtbh_attack_experiment(
+    config: RtbhAttackConfig | None = None,
+    scenario: AttackScenario | None = None,
+) -> RtbhAttackResult:
+    """Run the Fig. 3(c) experiment and return its result."""
+    config = config if config is not None else RtbhAttackConfig()
+    if scenario is None:
+        scenario = build_attack_scenario(
+            peer_count=config.peer_count,
+            attack_peak_bps=config.attack_peak_bps,
+            attack_start=config.attack_start,
+            attack_duration=config.attack_duration,
+            benign_rate_bps=config.benign_rate_bps,
+            rtbh_compliance_rate=config.compliance_rate,
+            seed=config.seed,
+        )
+    mitigation = RtbhMitigation(scenario.rtbh)
+    series = AttackTimeSeries()
+    blackhole_event = None
+
+    steps = int(config.duration / config.interval)
+    for step in range(steps):
+        t = step * config.interval
+        if blackhole_event is None and t >= config.blackhole_time:
+            blackhole_event = scenario.rtbh.request_blackhole(
+                victim_asn=scenario.victim.asn,
+                prefix=f"{scenario.victim_ip}/32",
+                peer_asns=scenario.peer_asns,
+                time=t,
+            )
+        flows = scenario.attack.flows(t, config.interval) + scenario.benign.flows(
+            t, config.interval
+        )
+        outcome = mitigation.apply(flows, config.interval)
+        delivered_flows = outcome.delivered + outcome.shaped
+        delivered_bits = sum(flow.bits for flow in delivered_flows)
+        attack_bits = sum(flow.bits for flow in delivered_flows if flow.is_attack)
+        peers = distinct_ingress_members(
+            flow for flow in delivered_flows if flow.bytes > 0
+        )
+        series.record(
+            time=t,
+            delivered_mbps=delivered_bits / config.interval / 1e6,
+            peer_count=len(peers),
+            attack_delivered_mbps=attack_bits / config.interval / 1e6,
+            discarded_mbps=outcome.discarded_bits / config.interval / 1e6,
+        )
+
+    honoring = (
+        len(blackhole_event.honoring_members) if blackhole_event is not None else 0
+    )
+    return RtbhAttackResult(
+        config=config,
+        series=series,
+        honoring_peer_count=honoring,
+        total_peer_count=len(scenario.peers),
+    )

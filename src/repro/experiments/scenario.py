@@ -1,0 +1,129 @@
+"""Scenario builders shared by the experiment drivers.
+
+The attack experiments (Fig. 3(c), Fig. 10(c), the §5.2 functionality
+validation) all run on the same shape of scenario: an IXP with one victim
+member (the experimental AS of the paper) and a population of peer members
+through which attack and legitimate traffic arrives.  :func:`build_attack_scenario`
+assembles the fabric, the Stellar deployment and the traffic sources so the
+drivers only differ in which mitigation they trigger and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.stellar import Stellar
+from ..ixp.edge_router import EdgeRouter
+from ..ixp.fabric import SwitchingFabric
+from ..ixp.hardware_profiles import l_ixp_edge_router_profile
+from ..ixp.member import IxpMember
+from ..mitigation.rtbh import RtbhService
+from ..traffic.attacks import BenignTrafficSource, BooterAttack
+
+#: ASN used for the IXP's route server / management AS (a 16-bit private ASN
+#: so the extended-community encoding applies).
+DEFAULT_IXP_ASN = 64700
+
+#: ASN of the experimental AS under attack.
+DEFAULT_VICTIM_ASN = 64500
+
+#: IP address attacked in the controlled experiments.
+DEFAULT_VICTIM_IP = "100.10.10.10"
+
+
+@dataclass
+class AttackScenario:
+    """Everything an attack experiment needs."""
+
+    stellar: Stellar
+    fabric: SwitchingFabric
+    victim: IxpMember
+    peers: List[IxpMember]
+    attack: BooterAttack
+    benign: BenignTrafficSource
+    rtbh: RtbhService
+    victim_ip: str = DEFAULT_VICTIM_IP
+
+    @property
+    def peer_asns(self) -> List[int]:
+        return [peer.asn for peer in self.peers]
+
+
+def build_attack_scenario(
+    peer_count: int = 40,
+    victim_port_capacity_bps: float = 10e9,
+    attack_peak_bps: float = 1e9,
+    attack_start: float = 100.0,
+    attack_duration: float = 600.0,
+    benign_rate_bps: float = 50e6,
+    benign_peer_count: int = 5,
+    vector_name: str = "ntp",
+    rtbh_compliance_rate: float = 0.30,
+    ixp_asn: int = DEFAULT_IXP_ASN,
+    victim_asn: int = DEFAULT_VICTIM_ASN,
+    victim_ip: str = DEFAULT_VICTIM_IP,
+    seed: int = 7,
+) -> AttackScenario:
+    """Build the controlled booter-attack scenario of §2.4 / §5.3.
+
+    The victim is the paper's experimental AS: it peers with every other
+    member via the route server, owns a /24 (with the attacked /32 inside),
+    and has a ``victim_port_capacity_bps`` port at the IXP.
+    """
+    if peer_count < 2:
+        raise ValueError("the scenario needs at least two peers")
+
+    fabric = SwitchingFabric(name="l-ixp")
+    fabric.add_edge_router(
+        EdgeRouter("edge-1", profile=l_ixp_edge_router_profile(), seed=seed)
+    )
+    stellar = Stellar(ixp_asn=ixp_asn, fabric=fabric)
+
+    victim = IxpMember(
+        asn=victim_asn,
+        name="experimental-as",
+        port_capacity_bps=victim_port_capacity_bps,
+        prefixes=["100.10.10.0/24"],
+        honors_rtbh=True,
+    )
+    peers = [
+        IxpMember(asn=65000 + i, name=f"peer-{i}", port_capacity_bps=10e9)
+        for i in range(peer_count)
+    ]
+    stellar.add_member(victim)
+    stellar.add_members(peers)
+
+    attack = BooterAttack(
+        victim_ip=victim_ip,
+        victim_member_asn=victim_asn,
+        peer_member_asns=[peer.asn for peer in peers],
+        peak_rate_bps=attack_peak_bps,
+        start=attack_start,
+        duration=attack_duration,
+        vector_name=vector_name,
+        seed=seed,
+    )
+    benign = BenignTrafficSource(
+        dst_ip=victim_ip,
+        egress_member_asn=victim_asn,
+        ingress_member_asns=[peer.asn for peer in peers[: max(1, benign_peer_count)]],
+        rate_bps=benign_rate_bps,
+        seed=seed + 1,
+    )
+    rtbh = RtbhService(
+        ixp_asn=ixp_asn,
+        route_server=None,
+        compliance_rate=rtbh_compliance_rate,
+        seed=seed + 2,
+    )
+    return AttackScenario(
+        stellar=stellar,
+        fabric=fabric,
+        victim=victim,
+        peers=peers,
+        attack=attack,
+        benign=benign,
+        rtbh=rtbh,
+        victim_ip=victim_ip,
+    )

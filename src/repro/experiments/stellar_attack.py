@@ -1,0 +1,173 @@
+"""Fig. 10(c): active DDoS attack mitigated with Stellar.
+
+The §5.3 Internet experiment repeats the booter attack of Fig. 3(c), but
+mitigates it with Advanced Blackholing instead of RTBH:
+
+* the NTP reflection attack starts at t = 100 s and ramps to ~1 Gbps from
+  ~60 peers,
+* 200 s into the attack (t = 300 s) the victim signals Stellar to *shape*
+  UDP source-port-123 traffic to 200 Mbps (community ``IXP:2:123`` plus the
+  shape action) — the delivered rate drops to the shaping rate while the
+  peer count stays constant (telemetry),
+* 200 s later (t = 500 s) the victim updates the rule to *drop* all UDP
+  traffic — the delivered rate falls close to zero and the peer count
+  collapses, with only a minimal residue (ARP-like background) remaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.timeseries import AttackTimeSeries
+from ..core.rules import BlackholingRule
+from ..traffic.flow import distinct_ingress_members
+from ..traffic.packet import IpProtocol, WellKnownPort
+from .scenario import AttackScenario, build_attack_scenario
+
+
+@dataclass
+class StellarAttackConfig:
+    """Parameters of the Fig. 10(c) experiment."""
+
+    duration: float = 900.0
+    interval: float = 10.0
+    attack_start: float = 100.0
+    attack_duration: float = 600.0
+    attack_peak_bps: float = 1e9
+    peer_count: int = 60
+    shape_time: float = 300.0
+    drop_time: float = 500.0
+    shape_rate_bps: float = 200e6
+    benign_rate_bps: float = 20e6
+    seed: int = 11
+
+
+@dataclass
+class StellarAttackResult:
+    """Time series and summary numbers of the Fig. 10(c) experiment."""
+
+    config: StellarAttackConfig
+    series: AttackTimeSeries
+
+    @property
+    def peak_attack_mbps(self) -> float:
+        return self.series.window(
+            self.config.attack_start, self.config.shape_time
+        ).peak_mbps()
+
+    @property
+    def shaped_phase_mbps(self) -> float:
+        """Mean delivered rate while the shaping rule is active."""
+        return self.series.mean_mbps(
+            self.config.shape_time + 2 * self.config.interval, self.config.drop_time
+        )
+
+    @property
+    def dropped_phase_mbps(self) -> float:
+        """Mean delivered rate after the drop rule takes effect."""
+        return self.series.mean_mbps(
+            self.config.drop_time + 2 * self.config.interval,
+            self.config.attack_start + self.config.attack_duration,
+        )
+
+    @property
+    def peers_during_shaping(self) -> float:
+        return self.series.mean_peers(
+            self.config.shape_time + 2 * self.config.interval, self.config.drop_time
+        )
+
+    @property
+    def peers_before_mitigation(self) -> float:
+        return self.series.mean_peers(
+            self.config.shape_time - 5 * self.config.interval, self.config.shape_time
+        )
+
+    @property
+    def peers_after_drop(self) -> float:
+        return self.series.mean_peers(
+            self.config.drop_time + 2 * self.config.interval,
+            self.config.attack_start + self.config.attack_duration,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "peak_attack_mbps": self.peak_attack_mbps,
+            "shaped_phase_mbps": self.shaped_phase_mbps,
+            "dropped_phase_mbps": self.dropped_phase_mbps,
+            "shape_rate_mbps": self.config.shape_rate_bps / 1e6,
+            "peers_before_mitigation": self.peers_before_mitigation,
+            "peers_during_shaping": self.peers_during_shaping,
+            "peers_after_drop": self.peers_after_drop,
+        }
+
+
+def run_stellar_attack_experiment(
+    config: StellarAttackConfig | None = None,
+    scenario: AttackScenario | None = None,
+) -> StellarAttackResult:
+    """Run the Fig. 10(c) experiment and return its result."""
+    config = config if config is not None else StellarAttackConfig()
+    if scenario is None:
+        scenario = build_attack_scenario(
+            peer_count=config.peer_count,
+            attack_peak_bps=config.attack_peak_bps,
+            attack_start=config.attack_start,
+            attack_duration=config.attack_duration,
+            benign_rate_bps=config.benign_rate_bps,
+            vector_name="ntp",
+            seed=config.seed,
+        )
+    stellar = scenario.stellar
+    victim_asn = scenario.victim.asn
+    victim_prefix = f"{scenario.victim_ip}/32"
+    series = AttackTimeSeries()
+
+    shape_signalled = False
+    drop_signalled = False
+    steps = int(config.duration / config.interval)
+    for step in range(steps):
+        t = step * config.interval
+        stellar.advance_to(t)
+        if not shape_signalled and t >= config.shape_time:
+            # "IXP:2:123" + shape: rate-limit NTP reflection traffic so the
+            # victim keeps receiving a telemetry sample.
+            rule = BlackholingRule.shape_udp_source_port(
+                victim_asn,
+                victim_prefix,
+                int(WellKnownPort.NTP),
+                rate_bps=config.shape_rate_bps,
+            )
+            stellar.request_mitigation(rule, via="bgp")
+            shape_signalled = True
+        if not drop_signalled and t >= config.drop_time:
+            # Escalate: drop all UDP towards the victim.
+            rule = BlackholingRule.drop_protocol(
+                victim_asn, victim_prefix, IpProtocol.UDP
+            )
+            stellar.request_mitigation(rule, via="bgp")
+            drop_signalled = True
+
+        flows = scenario.attack.flows(t, config.interval) + scenario.benign.flows(
+            t, config.interval
+        )
+        report = stellar.deliver_traffic(flows, config.interval, interval_start=t)
+        result = report.fabric_report.results_by_member.get(victim_asn)
+        if result is None:
+            series.record(time=t, delivered_mbps=0.0, peer_count=0)
+            continue
+        delivered_flows = result.forwarded + [
+            flow for flow in result.shaped if flow.bytes > 0
+        ]
+        delivered_bits = result.delivered_bits
+        attack_bits = sum(flow.bits for flow in delivered_flows if flow.is_attack)
+        peers = distinct_ingress_members(delivered_flows)
+        series.record(
+            time=t,
+            delivered_mbps=delivered_bits / config.interval / 1e6,
+            peer_count=len(peers),
+            attack_delivered_mbps=attack_bits / config.interval / 1e6,
+            filtered_mbps=report.filtered_bits / config.interval / 1e6,
+        )
+
+    return StellarAttackResult(config=config, series=series)

@@ -1,0 +1,57 @@
+"""IXP substrate: members, ports, TCAM, QoS data plane, edge routers, fabric."""
+
+from .control_plane import (
+    DEFAULT_CPU_LIMIT_PERCENT,
+    PAPER_MEDIAN_UPDATE_RATE,
+    ControlPlaneCpuModel,
+)
+from .edge_router import EdgeRouter, PortNotFoundError, RuleInstallation
+from .fabric import FabricIntervalReport, SwitchingFabric
+from .hardware_profiles import (
+    PARALLEL_RTBH_95TH_PERCENTILE,
+    HardwareProfile,
+    l_ixp_edge_router_profile,
+    sdn_switch_profile,
+    small_ixp_edge_router_profile,
+)
+from .member import IxpMember, default_mac
+from .port import MemberPort, PortCounters
+from .qos import (
+    FilterAction,
+    FlowMatch,
+    PortQosPolicy,
+    PortQosResult,
+    QosRule,
+)
+from .queues import RateLimiter, TokenBucket
+from .tcam import TcamExhaustedError, TcamModel, TcamStatus
+
+__all__ = [
+    "DEFAULT_CPU_LIMIT_PERCENT",
+    "PAPER_MEDIAN_UPDATE_RATE",
+    "ControlPlaneCpuModel",
+    "EdgeRouter",
+    "PortNotFoundError",
+    "RuleInstallation",
+    "FabricIntervalReport",
+    "SwitchingFabric",
+    "PARALLEL_RTBH_95TH_PERCENTILE",
+    "HardwareProfile",
+    "l_ixp_edge_router_profile",
+    "sdn_switch_profile",
+    "small_ixp_edge_router_profile",
+    "IxpMember",
+    "default_mac",
+    "MemberPort",
+    "PortCounters",
+    "FilterAction",
+    "FlowMatch",
+    "PortQosPolicy",
+    "PortQosResult",
+    "QosRule",
+    "RateLimiter",
+    "TokenBucket",
+    "TcamExhaustedError",
+    "TcamModel",
+    "TcamStatus",
+]

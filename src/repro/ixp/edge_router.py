@@ -1,0 +1,170 @@
+"""IXP edge routers.
+
+An edge router serves a set of member ports, owns the TCAM that backs its
+QoS policies, and exposes a control plane whose CPU budget limits the
+configuration update rate (paper §5.1).  Rule installation goes through the
+router so TCAM accounting and update-rate accounting stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..traffic.flow import FlowRecord
+from .control_plane import ControlPlaneCpuModel
+from .hardware_profiles import HardwareProfile, l_ixp_edge_router_profile
+from .member import IxpMember
+from .port import MemberPort
+from .qos import PortQosResult, QosRule
+from .tcam import TcamExhaustedError, TcamModel, TcamStatus
+
+
+class PortNotFoundError(KeyError):
+    """Raised when traffic or configuration targets an unknown member port."""
+
+
+@dataclass
+class RuleInstallation:
+    """Book-keeping for an installed rule (needed to release TCAM on removal)."""
+
+    rule: QosRule
+    port_id: int
+    mac_filters: int
+    l3l4_criteria: int
+
+
+class EdgeRouter:
+    """One edge router of the IXP's distributed switching platform."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: Optional[HardwareProfile] = None,
+        pop: str = "pop-1",
+        seed: int | None = None,
+    ) -> None:
+        self.name = name
+        self.pop = pop
+        self.profile = profile if profile is not None else l_ixp_edge_router_profile()
+        self.tcam: TcamModel = self.profile.make_tcam()
+        self.cpu: ControlPlaneCpuModel = self.profile.make_cpu_model(seed=seed)
+        self._ports_by_asn: Dict[int, MemberPort] = {}
+        self._installations: Dict[str, RuleInstallation] = {}
+        self._next_port_id = 1
+        #: Total number of configuration (rule add/remove) operations applied.
+        self.config_operations = 0
+
+    # ------------------------------------------------------------------
+    # Port management
+    # ------------------------------------------------------------------
+    def connect_member(self, member: IxpMember) -> MemberPort:
+        """Attach a member to the next free port."""
+        if member.asn in self._ports_by_asn:
+            return self._ports_by_asn[member.asn]
+        if len(self._ports_by_asn) >= self.profile.port_count:
+            raise RuntimeError(
+                f"edge router {self.name} has no free ports "
+                f"(capacity {self.profile.port_count})"
+            )
+        port = MemberPort(member=member, port_id=self._next_port_id)
+        self._next_port_id += 1
+        self._ports_by_asn[member.asn] = port
+        return port
+
+    def port_for(self, member_asn: int) -> MemberPort:
+        try:
+            return self._ports_by_asn[member_asn]
+        except KeyError as exc:
+            raise PortNotFoundError(
+                f"no port for AS{member_asn} on edge router {self.name}"
+            ) from exc
+
+    def has_member(self, member_asn: int) -> bool:
+        return member_asn in self._ports_by_asn
+
+    def ports(self) -> List[MemberPort]:
+        return list(self._ports_by_asn.values())
+
+    @property
+    def member_asns(self) -> set[int]:
+        return set(self._ports_by_asn)
+
+    # ------------------------------------------------------------------
+    # Configuration (consumes TCAM + control-plane budget)
+    # ------------------------------------------------------------------
+    def install_rule(self, member_asn: int, rule: QosRule) -> TcamStatus:
+        """Install a QoS rule on a member's egress port.
+
+        Returns :data:`TcamStatus.OK` on success; raises
+        :class:`TcamExhaustedError` when the hardware limits are exceeded.
+        """
+        port = self.port_for(member_asn)
+        mac_filters = rule.match.mac_filter_entries
+        l3l4 = rule.match.l3l4_criteria
+        if rule.rule_id and rule.rule_id in self._installations:
+            # Replacing an existing rule: release the old footprint first.
+            self.remove_rule(member_asn, rule.rule_id)
+        self.tcam.allocate(port.port_id, mac_filters, l3l4)
+        port.install_rule(rule)
+        if rule.rule_id:
+            self._installations[rule.rule_id] = RuleInstallation(
+                rule=rule, port_id=port.port_id, mac_filters=mac_filters, l3l4_criteria=l3l4
+            )
+        self.config_operations += 1
+        return TcamStatus.OK
+
+    def remove_rule(self, member_asn: int, rule_id: str) -> bool:
+        """Remove a rule and release its TCAM footprint."""
+        port = self.port_for(member_asn)
+        removed = port.remove_rule(rule_id)
+        installation = self._installations.pop(rule_id, None)
+        if installation is not None:
+            self.tcam.release(
+                installation.port_id,
+                installation.mac_filters,
+                installation.l3l4_criteria,
+            )
+        if removed:
+            self.config_operations += 1
+        return removed
+
+    def check_capacity(self, rule: QosRule) -> TcamStatus:
+        """Feasibility check without installing (used by admission control)."""
+        return self.tcam.check(rule.match.mac_filter_entries, rule.match.l3l4_criteria)
+
+    def installed_rules(self) -> List[QosRule]:
+        return [installation.rule for installation in self._installations.values()]
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        flows_by_member: Dict[int, Sequence[FlowRecord]],
+        interval: float,
+        interval_start: float = 0.0,
+    ) -> Dict[int, PortQosResult]:
+        """Deliver one interval of egress traffic, per destination member."""
+        results: Dict[int, PortQosResult] = {}
+        for member_asn, flows in flows_by_member.items():
+            port = self.port_for(member_asn)
+            results[member_asn] = port.deliver(flows, interval, interval_start)
+        return results
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def cpu_usage_for_rate(self, updates_per_second: float) -> float:
+        """Noisy CPU-usage measurement for a configuration update rate."""
+        return self.cpu.measure_usage(updates_per_second)
+
+    def max_sustainable_update_rate(self) -> float:
+        """Update rate that saturates the configuration CPU budget."""
+        return self.cpu.max_update_rate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EdgeRouter({self.name}, pop={self.pop}, "
+            f"ports={len(self._ports_by_asn)}/{self.profile.port_count})"
+        )

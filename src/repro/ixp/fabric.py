@@ -1,0 +1,173 @@
+"""The IXP switching fabric.
+
+The fabric ties everything together on the data plane: members connect to
+edge routers (grouped into PoPs), traffic entering through one member's
+port crosses the platform and leaves through the destination member's
+egress port, where the QoS policy (and thus any Stellar blackholing rule)
+is applied.  The fabric also tracks platform-level utilisation, because
+the paper's egress-filtering choice is only viable while the platform has
+spare capacity to carry attack traffic to the egress port (§4.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..traffic.flow import FlowRecord
+from ..traffic.ipfix import IpfixCollector, IpfixExporter
+from .edge_router import EdgeRouter, PortNotFoundError
+from .hardware_profiles import HardwareProfile
+from .member import IxpMember
+from .port import MemberPort
+from .qos import PortQosResult
+
+
+@dataclass
+class FabricIntervalReport:
+    """Platform-level outcome of one delivery interval."""
+
+    interval_start: float
+    interval: float
+    offered_bits: float = 0.0
+    delivered_bits: float = 0.0
+    filtered_bits: float = 0.0
+    congestion_dropped_bits: float = 0.0
+    results_by_member: Dict[int, PortQosResult] = field(default_factory=dict)
+
+    @property
+    def platform_load_bps(self) -> float:
+        """Traffic carried across the platform during the interval (bps)."""
+        if self.interval <= 0:
+            return 0.0
+        return self.offered_bits / self.interval
+
+
+class SwitchingFabric:
+    """The IXP's layer-2 switching platform."""
+
+    def __init__(
+        self,
+        name: str = "l-ixp",
+        platform_capacity_bps: float = 25e12,
+        ipfix_sampling_rate: int = 1,
+    ) -> None:
+        if platform_capacity_bps <= 0:
+            raise ValueError("platform capacity must be positive")
+        self.name = name
+        #: Connected member capacity of the platform (25 Tbps at DE-CIX
+        #: Frankfurt in 2017, paper footnote 1).
+        self.platform_capacity_bps = platform_capacity_bps
+        self._edge_routers: Dict[str, EdgeRouter] = {}
+        self._members: Dict[int, IxpMember] = {}
+        self._router_for_member: Dict[int, str] = {}
+        self.collector = IpfixCollector()
+        self._exporter = IpfixExporter(
+            exporter_id=f"{name}-fabric", sampling_rate=ipfix_sampling_rate
+        )
+        self.reports: List[FabricIntervalReport] = []
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_edge_router(self, router: EdgeRouter) -> EdgeRouter:
+        if router.name in self._edge_routers:
+            raise ValueError(f"edge router {router.name!r} already exists")
+        self._edge_routers[router.name] = router
+        return router
+
+    def connect_member(self, member: IxpMember, router_name: Optional[str] = None) -> MemberPort:
+        """Connect a member to an edge router (the first one by default)."""
+        if not self._edge_routers:
+            raise RuntimeError("add an edge router before connecting members")
+        if router_name is None:
+            # Prefer the router in the member's PoP, else the least loaded one.
+            candidates = [
+                router for router in self._edge_routers.values() if router.pop == member.pop
+            ] or list(self._edge_routers.values())
+            router = min(candidates, key=lambda r: len(r.member_asns))
+        else:
+            router = self._edge_routers[router_name]
+        port = router.connect_member(member)
+        self._members[member.asn] = member
+        self._router_for_member[member.asn] = router.name
+        return port
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def members(self) -> List[IxpMember]:
+        return list(self._members.values())
+
+    @property
+    def member_asns(self) -> set[int]:
+        return set(self._members)
+
+    def member(self, asn: int) -> IxpMember:
+        try:
+            return self._members[asn]
+        except KeyError as exc:
+            raise KeyError(f"AS{asn} is not a member of {self.name}") from exc
+
+    def edge_routers(self) -> List[EdgeRouter]:
+        return list(self._edge_routers.values())
+
+    def router_for_member(self, member_asn: int) -> EdgeRouter:
+        try:
+            return self._edge_routers[self._router_for_member[member_asn]]
+        except KeyError as exc:
+            raise PortNotFoundError(f"AS{member_asn} is not connected") from exc
+
+    def port_for_member(self, member_asn: int) -> MemberPort:
+        return self.router_for_member(member_asn).port_for(member_asn)
+
+    @property
+    def connected_capacity_bps(self) -> float:
+        """Sum of member port capacities (the "connected capacity")."""
+        return sum(member.port_capacity_bps for member in self._members.values())
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        flows: Iterable[FlowRecord],
+        interval: float,
+        interval_start: float = 0.0,
+    ) -> FabricIntervalReport:
+        """Carry one observation interval of traffic across the platform.
+
+        Flows are grouped by their egress member, pushed through that
+        member's port QoS policy, and the per-member results plus a
+        platform-level summary are returned.  Flows whose egress member is
+        unknown are ignored (they never entered the IXP).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        flows = list(flows)
+        by_member: Dict[int, List[FlowRecord]] = defaultdict(list)
+        for flow in flows:
+            if flow.egress_member_asn in self._members:
+                by_member[flow.egress_member_asn].append(flow)
+
+        report = FabricIntervalReport(interval_start=interval_start, interval=interval)
+        for member_asn, member_flows in by_member.items():
+            router = self.router_for_member(member_asn)
+            result = router.deliver(
+                {member_asn: member_flows}, interval, interval_start
+            )[member_asn]
+            report.results_by_member[member_asn] = result
+            offered = float(sum(flow.bits for flow in member_flows))
+            report.offered_bits += offered
+            report.delivered_bits += result.delivered_bits
+            report.filtered_bits += result.dropped_bits + result.shaped_dropped_bits
+            report.congestion_dropped_bits += result.congestion_dropped_bits
+
+        self.collector.receive(self._exporter.export(flows, export_time=interval_start))
+        self.reports.append(report)
+        return report
+
+    def platform_overloaded(self, report: FabricIntervalReport) -> bool:
+        """True if the interval's load exceeded the platform capacity."""
+        return report.platform_load_bps > self.platform_capacity_bps

@@ -1,0 +1,64 @@
+"""IXP members.
+
+An IXP member is an AS connected to the IXP's switching fabric through one
+or more ports.  For the reproduction a member carries the attributes the
+experiments need: its ASN, the MAC address of its peering router (MAC
+filters are how RTBH policy control is enforced in hardware), its port
+capacity, whether it peers via the route server, and — crucial for the
+RTBH compliance analysis (§2.4) — whether it honours blackholing signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def default_mac(asn: int) -> str:
+    """Deterministic locally administered MAC for a member's router."""
+    if asn < 0 or asn > 0xFFFFFFFF:
+        raise ValueError(f"ASN out of range: {asn}")
+    return (
+        f"02:00:{(asn >> 24) & 0xFF:02x}:{(asn >> 16) & 0xFF:02x}:"
+        f"{(asn >> 8) & 0xFF:02x}:{asn & 0xFF:02x}"
+    )
+
+
+@dataclass
+class IxpMember:
+    """One member AS of the IXP."""
+
+    asn: int
+    name: str = ""
+    #: Capacity of the member's IXP port in bits per second.
+    port_capacity_bps: float = 10e9
+    #: MAC address of the member's peering router.
+    mac: str = ""
+    #: Whether the member peers via the route server (multi-lateral peering).
+    uses_route_server: bool = True
+    #: Whether the member honours RTBH blackholing communities.  The paper
+    #: finds that almost 70 % of members do *not* (§2.4).
+    honors_rtbh: bool = False
+    #: IPv4 prefixes the member originates (used to seed IRR/route server).
+    prefixes: list[str] = field(default_factory=list)
+    #: Identifier of the edge router / PoP the member connects to.
+    pop: str = "pop-1"
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"member ASN must be positive, got {self.asn}")
+        if self.port_capacity_bps <= 0:
+            raise ValueError("port capacity must be positive")
+        if not self.name:
+            self.name = f"AS{self.asn}"
+        if not self.mac:
+            self.mac = default_mac(self.asn)
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IxpMember(asn={self.asn}, capacity={self.port_capacity_bps / 1e9:.0f}G, "
+            f"honors_rtbh={self.honors_rtbh})"
+        )

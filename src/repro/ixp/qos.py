@@ -1,0 +1,248 @@
+"""QoS classification and queueing (the filtering layer's data plane).
+
+Stellar's filtering layer compiles blackholing rules into per-member-port
+QoS policies (paper §4.5, Fig. 8).  Each policy classifies the packet
+stream leaving the IXP towards the member into one of three actions:
+
+* ``DROP`` — redirect to a zero-length queue (immediate discard),
+* ``SHAPE`` — pass through a shaping queue with a configurable rate (used
+  for telemetry: the victim still sees a bounded sample of the attack),
+* ``FORWARD`` — the default; enqueue on the member port's egress queue,
+  which is itself limited by the port capacity.
+
+The reproduction models this at flow level per observation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from ..bgp.prefix import Prefix, parse_prefix
+from ..traffic.flow import FlowRecord
+from ..traffic.packet import IpProtocol
+from .queues import RateLimiter
+
+
+class FilterAction(Enum):
+    """What happens to traffic matching a classification rule."""
+
+    DROP = "drop"
+    SHAPE = "shape"
+    FORWARD = "forward"
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """L2–L4 match criteria of a classification rule.
+
+    Every field is optional; ``None`` means "any".  The resource footprint
+    properties report how many TCAM entries of each pool a rule with this
+    match consumes (one MAC entry if a MAC is matched; one L3–L4 criterion
+    per L3/L4 field).
+    """
+
+    dst_prefix: Optional[Prefix] = None
+    src_prefix: Optional[Prefix] = None
+    src_mac: Optional[str] = None
+    protocol: Optional[IpProtocol] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if port is not None and not 0 <= port <= 65535:
+                raise ValueError(f"{name} must be a valid L4 port, got {port}")
+
+    # ------------------------------------------------------------------
+    @property
+    def mac_filter_entries(self) -> int:
+        """MAC (L2) TCAM entries consumed by this match."""
+        return 1 if self.src_mac is not None else 0
+
+    @property
+    def l3l4_criteria(self) -> int:
+        """L3–L4 TCAM criteria consumed by this match."""
+        return sum(
+            1
+            for value in (
+                self.dst_prefix,
+                self.src_prefix,
+                self.protocol,
+                self.src_port,
+                self.dst_port,
+            )
+            if value is not None
+        )
+
+    @property
+    def is_catch_all(self) -> bool:
+        """True if the match has no criteria at all (matches everything)."""
+        return self.mac_filter_entries == 0 and self.l3l4_criteria == 0
+
+    # ------------------------------------------------------------------
+    def matches(self, flow: FlowRecord) -> bool:
+        """Check a flow record against the criteria."""
+        if self.dst_prefix is not None and not self.dst_prefix.contains_address(flow.dst_ip):
+            return False
+        if self.src_prefix is not None and not self.src_prefix.contains_address(flow.src_ip):
+            return False
+        if self.src_mac is not None and flow.src_mac.lower() != self.src_mac.lower():
+            return False
+        if self.protocol is not None and flow.protocol != self.protocol:
+            return False
+        if self.src_port is not None and flow.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and flow.dst_port != self.dst_port:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """More specific matches win when several rules match a flow."""
+        score = self.l3l4_criteria + self.mac_filter_entries
+        if self.dst_prefix is not None:
+            score += self.dst_prefix.length / 128
+        if self.src_prefix is not None:
+            score += self.src_prefix.length / 128
+        return int(score * 1000)
+
+
+@dataclass(frozen=True)
+class QosRule:
+    """One classification rule: match criteria + action (+ shaping rate)."""
+
+    match: FlowMatch
+    action: FilterAction
+    #: Only meaningful for SHAPE: the shaping rate in bits per second.
+    shape_rate_bps: float = 0.0
+    #: Identifier of the blackholing rule this was compiled from (telemetry).
+    rule_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action is FilterAction.SHAPE and self.shape_rate_bps <= 0:
+            raise ValueError("SHAPE rules require a positive shape_rate_bps")
+        if self.action is not FilterAction.SHAPE and self.shape_rate_bps:
+            raise ValueError("shape_rate_bps is only valid for SHAPE rules")
+
+
+@dataclass
+class PortQosResult:
+    """Outcome of pushing one interval of traffic through a port's QoS policy."""
+
+    forwarded: List[FlowRecord] = field(default_factory=list)
+    dropped: List[FlowRecord] = field(default_factory=list)
+    shaped: List[FlowRecord] = field(default_factory=list)
+    forwarded_bits: float = 0.0
+    dropped_bits: float = 0.0
+    shaped_passed_bits: float = 0.0
+    shaped_dropped_bits: float = 0.0
+    congestion_dropped_bits: float = 0.0
+
+    @property
+    def delivered_bits(self) -> float:
+        """Bits actually delivered to the member (forwarded + shaped that passed)."""
+        return self.forwarded_bits + self.shaped_passed_bits
+
+    @property
+    def total_dropped_bits(self) -> float:
+        return self.dropped_bits + self.shaped_dropped_bits + self.congestion_dropped_bits
+
+
+class PortQosPolicy:
+    """The QoS policy configured on one member (egress) port."""
+
+    def __init__(self, port_capacity_bps: float) -> None:
+        if port_capacity_bps <= 0:
+            raise ValueError("port capacity must be positive")
+        self.port_capacity_bps = port_capacity_bps
+        self._rules: List[QosRule] = []
+        self._shapers: Dict[str, RateLimiter] = {}
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def install(self, rule: QosRule) -> None:
+        """Install a rule (replacing any existing rule with the same id)."""
+        if rule.rule_id:
+            self._rules = [
+                existing for existing in self._rules if existing.rule_id != rule.rule_id
+            ]
+            self._shapers.pop(rule.rule_id, None)
+        self._rules.append(rule)
+        if rule.action is FilterAction.SHAPE:
+            shaper_key = rule.rule_id or f"anon-{len(self._rules)}"
+            self._shapers[shaper_key] = RateLimiter(rate_bps=rule.shape_rate_bps)
+
+    def remove(self, rule_id: str) -> bool:
+        """Remove the rule with the given id.  Returns True if found."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.rule_id != rule_id]
+        self._shapers.pop(rule_id, None)
+        return len(self._rules) != before
+
+    def rules(self) -> List[QosRule]:
+        return list(self._rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._shapers.clear()
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(self, flow: FlowRecord) -> QosRule | None:
+        """Return the most specific matching rule, or ``None`` (forward)."""
+        matching = [rule for rule in self._rules if rule.match.matches(flow)]
+        if not matching:
+            return None
+        return max(matching, key=lambda rule: rule.match.specificity)
+
+    def apply(self, flows: Sequence[FlowRecord], interval: float) -> PortQosResult:
+        """Push one observation interval of traffic through the policy."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        result = PortQosResult()
+        shaped_by_rule: Dict[str, List[FlowRecord]] = {}
+
+        for flow in flows:
+            rule = self.classify(flow)
+            if rule is None or rule.action is FilterAction.FORWARD:
+                result.forwarded.append(flow)
+                result.forwarded_bits += flow.bits
+            elif rule.action is FilterAction.DROP:
+                result.dropped.append(flow)
+                result.dropped_bits += flow.bits
+            else:  # SHAPE
+                key = rule.rule_id or "anon"
+                shaped_by_rule.setdefault(key, []).append(flow)
+
+        # Shaping queues: the flows matching one shaping rule share that
+        # rule's rate limit (paper §5.2).
+        for key, shaped_flows in shaped_by_rule.items():
+            shaper = self._shapers.get(key)
+            offered_bits = sum(flow.bits for flow in shaped_flows)
+            if shaper is None:
+                passed_bits, dropped_bits = float(offered_bits), 0.0
+            else:
+                passed_bits, dropped_bits = shaper.shape(offered_bits, interval)
+            scale = passed_bits / offered_bits if offered_bits > 0 else 0.0
+            result.shaped.extend(flow.scaled(scale) for flow in shaped_flows)
+            result.shaped_passed_bits += passed_bits
+            result.shaped_dropped_bits += dropped_bits
+
+        # Egress queue: forwarded + shaped traffic shares the port capacity;
+        # anything beyond it is congestion loss at the member port.
+        capacity_bits = self.port_capacity_bps * interval
+        delivered = result.forwarded_bits + result.shaped_passed_bits
+        if delivered > capacity_bits:
+            result.congestion_dropped_bits = delivered - capacity_bits
+            overload = capacity_bits / delivered if delivered > 0 else 0.0
+            result.forwarded_bits *= overload
+            result.shaped_passed_bits *= overload
+        return result

@@ -1,0 +1,46 @@
+"""Mitigation baselines: RTBH, ACL filters, Flowspec, scrubbing, comparison."""
+
+from .acl import AccessControlList, AclEntry, AclMitigation
+from .base import (
+    Dimension,
+    MitigationOutcome,
+    MitigationTechnique,
+    NoMitigation,
+    Rating,
+)
+from .combined import CombinedMitigation, CombinedOutcome, scrubbing_cost_saving
+from .comparison import (
+    PAPER_TABLE_1,
+    TECHNIQUE_ORDER,
+    ComparisonTable,
+    build_comparison_table,
+)
+from .flowspec import FlowspecMitigation, FlowspecService, InstalledFlowspecRule
+from .rtbh import BlackholeEvent, RtbhMitigation, RtbhService
+from .scrubbing import ScrubbingCenter, ScrubbingMitigation
+
+__all__ = [
+    "CombinedMitigation",
+    "CombinedOutcome",
+    "scrubbing_cost_saving",
+    "AccessControlList",
+    "AclEntry",
+    "AclMitigation",
+    "Dimension",
+    "MitigationOutcome",
+    "MitigationTechnique",
+    "NoMitigation",
+    "Rating",
+    "PAPER_TABLE_1",
+    "TECHNIQUE_ORDER",
+    "ComparisonTable",
+    "build_comparison_table",
+    "FlowspecMitigation",
+    "FlowspecService",
+    "InstalledFlowspecRule",
+    "BlackholeEvent",
+    "RtbhMitigation",
+    "RtbhService",
+    "ScrubbingCenter",
+    "ScrubbingMitigation",
+]

@@ -1,0 +1,130 @@
+"""Router ACL filter baseline.
+
+ISPs and IXP members deploy policy-based ACL filters at their own border
+routers to drop unwanted traffic (§1.1).  Two properties distinguish ACLs
+from IXP-side Advanced Blackholing in the model:
+
+* the filter sits at the *victim's* border router, i.e. **after** the
+  member's IXP port — so even perfectly matching filters do not relieve
+  the congested port (the traffic has already consumed the port capacity),
+* the number of ACL entries a border router can hold is limited, and the
+  filters must be configured manually per device, which is what the
+  "limited scalability / demand for customization" drawback captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..bgp.prefix import Prefix, parse_prefix
+from ..traffic.flow import FlowRecord
+from ..traffic.packet import IpProtocol
+from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One access-control-list entry (permit or deny)."""
+
+    action: str  # "permit" | "deny"
+    dst_prefix: Optional[Prefix] = None
+    src_prefix: Optional[Prefix] = None
+    protocol: Optional[IpProtocol] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("permit", "deny"):
+            raise ValueError(f"action must be 'permit' or 'deny', got {self.action!r}")
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if port is not None and not 0 <= port <= 65535:
+                raise ValueError(f"{name} must be a valid L4 port, got {port}")
+
+    def matches(self, flow: FlowRecord) -> bool:
+        if self.dst_prefix is not None and not self.dst_prefix.contains_address(flow.dst_ip):
+            return False
+        if self.src_prefix is not None and not self.src_prefix.contains_address(flow.src_ip):
+            return False
+        if self.protocol is not None and flow.protocol != self.protocol:
+            return False
+        if self.src_port is not None and flow.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and flow.dst_port != self.dst_port:
+            return False
+        return True
+
+
+class AccessControlList:
+    """An ordered ACL with a hardware entry limit (first match wins)."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: List[AclEntry] = []
+
+    def add(self, entry: AclEntry) -> None:
+        if len(self._entries) >= self.max_entries:
+            raise RuntimeError(
+                f"ACL is full ({self.max_entries} entries); cannot add more"
+            )
+        self._entries.append(entry)
+
+    def deny(self, dst_prefix: "str | Prefix", **criteria) -> AclEntry:
+        """Convenience helper: append a deny entry for ``dst_prefix``."""
+        entry = AclEntry(action="deny", dst_prefix=parse_prefix(dst_prefix), **criteria)
+        self.add(entry)
+        return entry
+
+    def entries(self) -> List[AclEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def evaluate(self, flow: FlowRecord) -> str:
+        """Return "permit" or "deny" for a flow (implicit permit at the end)."""
+        for entry in self._entries:
+            if entry.matches(flow):
+                return entry.action
+        return "permit"
+
+
+class AclMitigation(MitigationTechnique):
+    """ACL filtering at the victim's border router.
+
+    ``filters_after_port`` reflects where the ACL sits: when True (the
+    realistic default), dropped traffic has still crossed the victim's IXP
+    port and therefore still contributes to port congestion upstream of the
+    filter; the outcome reports it as discarded nonetheless, and the
+    experiment drivers account for the port bottleneck separately.
+    """
+
+    name = "ACL filters"
+    ratings = {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.NEUTRAL,
+        Dimension.RESOURCE_SHARING: Rating.ADVANTAGE,
+        Dimension.TELEMETRY: Rating.DISADVANTAGE,
+        Dimension.SCALABILITY: Rating.NEUTRAL,
+        Dimension.RESOURCES: Rating.DISADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.DISADVANTAGE,
+        Dimension.COSTS: Rating.NEUTRAL,
+    }
+
+    def __init__(self, acl: Optional[AccessControlList] = None, filters_after_port: bool = True) -> None:
+        self.acl = acl if acl is not None else AccessControlList()
+        self.filters_after_port = filters_after_port
+
+    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+        outcome = MitigationOutcome()
+        for flow in flows:
+            if self.acl.evaluate(flow) == "deny":
+                outcome.discarded.append(flow)
+            else:
+                outcome.delivered.append(flow)
+        return outcome

@@ -1,0 +1,128 @@
+"""Common interface and qualitative attributes of DDoS mitigation techniques.
+
+Table 1 of the paper compares five techniques along ten qualitative
+dimensions (granularity, signaling complexity, cooperation, resource
+sharing, telemetry, scalability, resources, performance, reaction time,
+costs).  Each technique in :mod:`repro.mitigation` declares its rating per
+dimension, and :mod:`repro.mitigation.comparison` assembles the table.
+
+Quantitatively, every technique implements :class:`MitigationTechnique`:
+given the flows destined to a victim during one observation interval, it
+returns which flows are discarded, which are delivered, and which are
+passed on in reduced (shaped) form.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from ..traffic.flow import FlowRecord
+
+
+class Rating(Enum):
+    """Qualitative rating used by Table 1."""
+
+    ADVANTAGE = "advantage"       # ✓ in the paper's table
+    NEUTRAL = "neutral"           # •
+    DISADVANTAGE = "disadvantage" # ✗
+
+    @property
+    def symbol(self) -> str:
+        return {"advantage": "+", "neutral": "o", "disadvantage": "-"}[self.value]
+
+
+class Dimension(Enum):
+    """The comparison dimensions of Table 1 (in row order)."""
+
+    GRANULARITY = "Granularity"
+    SIGNALING_COMPLEXITY = "Signaling complexity"
+    COOPERATION = "Cooperation"
+    RESOURCE_SHARING = "Resource sharing"
+    TELEMETRY = "Telemetry"
+    SCALABILITY = "Scalability"
+    RESOURCES = "Resources"
+    PERFORMANCE = "Performance"
+    REACTION_TIME = "Reaction time"
+    COSTS = "Costs"
+
+
+@dataclass
+class MitigationOutcome:
+    """Result of applying a mitigation technique to one interval of traffic."""
+
+    delivered: List[FlowRecord] = field(default_factory=list)
+    discarded: List[FlowRecord] = field(default_factory=list)
+    shaped: List[FlowRecord] = field(default_factory=list)
+
+    @property
+    def delivered_bits(self) -> float:
+        return float(sum(flow.bits for flow in self.delivered)) + float(
+            sum(flow.bits for flow in self.shaped)
+        )
+
+    @property
+    def discarded_bits(self) -> float:
+        return float(sum(flow.bits for flow in self.discarded))
+
+    @property
+    def delivered_attack_bits(self) -> float:
+        """Attack traffic that still reaches the victim (lower is better)."""
+        return float(
+            sum(flow.bits for flow in self.delivered if flow.is_attack)
+        ) + float(sum(flow.bits for flow in self.shaped if flow.is_attack))
+
+    @property
+    def collateral_damage_bits(self) -> float:
+        """Legitimate traffic that was discarded (lower is better)."""
+        return float(sum(flow.bits for flow in self.discarded if not flow.is_attack))
+
+    @property
+    def delivered_peers(self) -> set[int]:
+        """Distinct ingress members whose traffic still reaches the victim."""
+        peers = {
+            flow.ingress_member_asn
+            for flow in self.delivered
+            if flow.ingress_member_asn
+        }
+        peers |= {
+            flow.ingress_member_asn
+            for flow in self.shaped
+            if flow.ingress_member_asn and flow.bytes > 0
+        }
+        return peers
+
+
+class MitigationTechnique(abc.ABC):
+    """Base class for all mitigation techniques (baselines and Stellar)."""
+
+    #: Human-readable name used in tables and reports.
+    name: str = "abstract"
+
+    #: Qualitative ratings for Table 1; subclasses override.
+    ratings: Dict[Dimension, Rating] = {}
+
+    @abc.abstractmethod
+    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+        """Apply the technique to one observation interval of victim traffic."""
+
+    def rating(self, dimension: Dimension) -> Rating:
+        """The technique's rating for a dimension (NEUTRAL if unspecified)."""
+        return self.ratings.get(dimension, Rating.NEUTRAL)
+
+    def rating_row(self) -> Dict[Dimension, Rating]:
+        """All ratings, with NEUTRAL filled in for unspecified dimensions."""
+        return {dimension: self.rating(dimension) for dimension in Dimension}
+
+
+class NoMitigation(MitigationTechnique):
+    """The do-nothing baseline: everything is delivered (subject to port capacity
+    further down the pipeline)."""
+
+    name = "none"
+    ratings: Dict[Dimension, Rating] = {}
+
+    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+        return MitigationOutcome(delivered=list(flows))

@@ -1,0 +1,153 @@
+"""Qualitative comparison of mitigation techniques (Table 1).
+
+Builds the paper's Table 1 from the per-technique ratings declared by each
+:class:`~repro.mitigation.base.MitigationTechnique` subclass, and provides
+helpers to render it as text or compare it against the expected reference
+matrix (used by the Table 1 bench and the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .base import Dimension, MitigationTechnique, Rating
+
+#: The paper's Table 1, transcribed.  Keys are technique names as used by
+#: the corresponding classes; values map dimension → rating.
+PAPER_TABLE_1: Dict[str, Dict[Dimension, Rating]] = {
+    "TSS": {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.NEUTRAL,
+        Dimension.RESOURCE_SHARING: Rating.ADVANTAGE,
+        Dimension.TELEMETRY: Rating.ADVANTAGE,
+        Dimension.SCALABILITY: Rating.DISADVANTAGE,
+        Dimension.RESOURCES: Rating.DISADVANTAGE,
+        Dimension.PERFORMANCE: Rating.DISADVANTAGE,
+        Dimension.REACTION_TIME: Rating.DISADVANTAGE,
+        Dimension.COSTS: Rating.DISADVANTAGE,
+    },
+    "ACL filters": {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.NEUTRAL,
+        Dimension.RESOURCE_SHARING: Rating.ADVANTAGE,
+        Dimension.TELEMETRY: Rating.DISADVANTAGE,
+        Dimension.SCALABILITY: Rating.NEUTRAL,
+        Dimension.RESOURCES: Rating.DISADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.DISADVANTAGE,
+        Dimension.COSTS: Rating.NEUTRAL,
+    },
+    "RTBH": {
+        Dimension.GRANULARITY: Rating.DISADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.DISADVANTAGE,
+        Dimension.RESOURCE_SHARING: Rating.ADVANTAGE,
+        Dimension.TELEMETRY: Rating.DISADVANTAGE,
+        Dimension.SCALABILITY: Rating.ADVANTAGE,
+        Dimension.RESOURCES: Rating.ADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.ADVANTAGE,
+        Dimension.COSTS: Rating.ADVANTAGE,
+    },
+    "Flowspec": {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.DISADVANTAGE,
+        Dimension.RESOURCE_SHARING: Rating.DISADVANTAGE,
+        Dimension.TELEMETRY: Rating.NEUTRAL,
+        Dimension.SCALABILITY: Rating.ADVANTAGE,
+        Dimension.RESOURCES: Rating.DISADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.ADVANTAGE,
+        Dimension.COSTS: Rating.ADVANTAGE,
+    },
+    "Advanced Blackholing": {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.ADVANTAGE,
+        Dimension.COOPERATION: Rating.ADVANTAGE,
+        Dimension.RESOURCE_SHARING: Rating.ADVANTAGE,
+        Dimension.TELEMETRY: Rating.ADVANTAGE,
+        Dimension.SCALABILITY: Rating.ADVANTAGE,
+        Dimension.RESOURCES: Rating.ADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.ADVANTAGE,
+        Dimension.COSTS: Rating.ADVANTAGE,
+    },
+}
+
+#: Column order of the paper's table.
+TECHNIQUE_ORDER = ("TSS", "ACL filters", "RTBH", "Flowspec", "Advanced Blackholing")
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    """The assembled comparison matrix."""
+
+    techniques: tuple[str, ...]
+    ratings: Dict[str, Dict[Dimension, Rating]]
+
+    def rating(self, technique: str, dimension: Dimension) -> Rating:
+        return self.ratings[technique][dimension]
+
+    def advantage_count(self, technique: str) -> int:
+        """Number of dimensions in which a technique is rated as an advantage."""
+        return sum(
+            1
+            for rating in self.ratings[technique].values()
+            if rating is Rating.ADVANTAGE
+        )
+
+    def as_rows(self) -> List[List[str]]:
+        """Rows of (dimension, symbol, symbol, ...) for rendering."""
+        rows = []
+        for dimension in Dimension:
+            row = [dimension.value]
+            row.extend(
+                self.ratings[technique][dimension].symbol for technique in self.techniques
+            )
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """Plain-text rendering of the table."""
+        header = ["Dimension"] + list(self.techniques)
+        rows = [header] + self.as_rows()
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = []
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def matches_paper(self) -> bool:
+        """True if every cell agrees with the transcribed paper table."""
+        for technique in self.techniques:
+            expected = PAPER_TABLE_1.get(technique)
+            if expected is None:
+                return False
+            for dimension in Dimension:
+                if self.ratings[technique][dimension] is not expected[dimension]:
+                    return False
+        return True
+
+
+def build_comparison_table(
+    techniques: Sequence[MitigationTechnique] | None = None,
+) -> ComparisonTable:
+    """Assemble the comparison table from technique instances.
+
+    When no instances are supplied the table is built from the transcribed
+    paper ratings (which the techniques' declared ratings must match — the
+    tests assert this consistency).
+    """
+    if techniques is None:
+        return ComparisonTable(
+            techniques=TECHNIQUE_ORDER,
+            ratings={name: dict(PAPER_TABLE_1[name]) for name in TECHNIQUE_ORDER},
+        )
+    ratings = {technique.name: technique.rating_row() for technique in techniques}
+    return ComparisonTable(
+        techniques=tuple(technique.name for technique in techniques), ratings=ratings
+    )

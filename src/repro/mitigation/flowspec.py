@@ -1,0 +1,148 @@
+"""BGP Flowspec mitigation baseline.
+
+Flowspec disseminates fine-grained filter rules across BGP sessions
+(§1.1, §4.2.1).  Its effectiveness in the inter-domain / IXP setting is
+limited by the same cooperation problem as RTBH: the *other* networks must
+install the announced rules on *their* routers, consuming their hardware
+resources.  The model therefore couples each rule with the set of peers
+that actually install it (a per-peer acceptance draw, like the RTBH
+compliance model) and with a per-peer rule budget, so experiments can
+explore both the cooperation and the resource-sharing axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..bgp.flowspec import FlowspecRule
+from ..sim.rng import make_rng
+from ..traffic.flow import FlowRecord
+from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
+
+
+@dataclass
+class InstalledFlowspecRule:
+    """A Flowspec rule plus the peers that accepted and installed it."""
+
+    rule: FlowspecRule
+    installing_peers: Set[int] = field(default_factory=set)
+
+
+class FlowspecService:
+    """Models inter-domain Flowspec dissemination among IXP peers."""
+
+    def __init__(
+        self,
+        acceptance_rate: float = 0.4,
+        per_peer_rule_budget: int = 100,
+        peer_acceptance: Optional[Dict[int, bool]] = None,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 <= acceptance_rate <= 1:
+            raise ValueError("acceptance_rate must lie in [0, 1]")
+        if per_peer_rule_budget <= 0:
+            raise ValueError("per_peer_rule_budget must be positive")
+        self.acceptance_rate = acceptance_rate
+        self.per_peer_rule_budget = per_peer_rule_budget
+        self._peer_acceptance: Dict[int, bool] = dict(peer_acceptance or {})
+        self._rules_per_peer: Dict[int, int] = {}
+        self._rng = make_rng(seed)
+        self._installed: List[InstalledFlowspecRule] = []
+
+    # ------------------------------------------------------------------
+    def peer_accepts(self, peer_asn: int) -> bool:
+        """Whether a peer is willing to install Flowspec rules at all."""
+        if peer_asn not in self._peer_acceptance:
+            self._peer_acceptance[peer_asn] = bool(
+                self._rng.random() < self.acceptance_rate
+            )
+        return self._peer_acceptance[peer_asn]
+
+    def announce_rule(self, rule: FlowspecRule, peer_asns: Sequence[int]) -> InstalledFlowspecRule:
+        """Announce a rule to the peers; record who installs it."""
+        installing: Set[int] = set()
+        for peer in peer_asns:
+            if not self.peer_accepts(peer):
+                continue
+            used = self._rules_per_peer.get(peer, 0)
+            if used >= self.per_peer_rule_budget:
+                continue  # the peer's router has no Flowspec TCAM left
+            self._rules_per_peer[peer] = used + 1
+            installing.add(peer)
+        installed = InstalledFlowspecRule(rule=rule, installing_peers=installing)
+        self._installed.append(installed)
+        return installed
+
+    def installed_rules(self) -> List[InstalledFlowspecRule]:
+        return list(self._installed)
+
+    def rules_installed_at(self, peer_asn: int) -> int:
+        return self._rules_per_peer.get(peer_asn, 0)
+
+
+class FlowspecMitigation(MitigationTechnique):
+    """Flowspec as a mitigation technique applied to flow records.
+
+    A flow is discarded when any installed discard rule matches it *and*
+    the ingress peer for that flow is among the peers that installed the
+    rule; a rate-limited rule scales the matching traffic down to the
+    configured rate (aggregated per rule and ingress peer).
+    """
+
+    name = "Flowspec"
+    ratings = {
+        Dimension.GRANULARITY: Rating.ADVANTAGE,
+        Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
+        Dimension.COOPERATION: Rating.DISADVANTAGE,
+        Dimension.RESOURCE_SHARING: Rating.DISADVANTAGE,
+        Dimension.TELEMETRY: Rating.NEUTRAL,
+        Dimension.SCALABILITY: Rating.ADVANTAGE,
+        Dimension.RESOURCES: Rating.DISADVANTAGE,
+        Dimension.PERFORMANCE: Rating.ADVANTAGE,
+        Dimension.REACTION_TIME: Rating.ADVANTAGE,
+        Dimension.COSTS: Rating.ADVANTAGE,
+    }
+
+    def __init__(self, service: FlowspecService) -> None:
+        self.service = service
+
+    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+        outcome = MitigationOutcome()
+        rate_limited: Dict[int, List[FlowRecord]] = {}
+        rate_limits: Dict[int, float] = {}
+
+        for flow in flows:
+            handled = False
+            for index, installed in enumerate(self.service.installed_rules()):
+                rule = installed.rule
+                if flow.ingress_member_asn not in installed.installing_peers:
+                    continue
+                if not rule.matches(
+                    dst_ip=flow.dst_ip,
+                    src_ip=flow.src_ip,
+                    protocol=int(flow.protocol),
+                    src_port=flow.src_port,
+                    dst_port=flow.dst_port,
+                ):
+                    continue
+                if rule.is_discard:
+                    outcome.discarded.append(flow)
+                else:
+                    rate_limited.setdefault(index, []).append(flow)
+                    rate_limits[index] = max(
+                        action.rate_bytes_per_second
+                        for action in rule.actions
+                        if action.rate_bytes_per_second >= 0
+                    )
+                handled = True
+                break
+            if not handled:
+                outcome.delivered.append(flow)
+
+        for index, matched in rate_limited.items():
+            budget_bytes = rate_limits[index] * interval
+            offered = sum(flow.bytes for flow in matched)
+            scale = min(1.0, budget_bytes / offered) if offered > 0 else 0.0
+            outcome.shaped.extend(flow.scaled(scale) for flow in matched)
+        return outcome

@@ -1,0 +1,26 @@
+"""Simulation substrate: clock, event engine and deterministic randomness."""
+
+from .clock import SimulationClock
+from .engine import SimulationEngine
+from .events import Event, EventLog
+from .rng import (
+    DEFAULT_SEED,
+    exponential_interarrivals,
+    make_rng,
+    pareto_bytes,
+    spawn,
+    weighted_choice,
+)
+
+__all__ = [
+    "SimulationClock",
+    "SimulationEngine",
+    "Event",
+    "EventLog",
+    "DEFAULT_SEED",
+    "make_rng",
+    "spawn",
+    "weighted_choice",
+    "pareto_bytes",
+    "exponential_interarrivals",
+]

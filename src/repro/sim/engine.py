@@ -1,0 +1,122 @@
+"""Discrete-event simulation engine.
+
+A deliberately small engine: a priority queue of :class:`~repro.sim.events.Event`
+objects driven by a shared :class:`~repro.sim.clock.SimulationClock`.  The
+control-plane parts of the reproduction (token-bucket dequeueing, rule
+deployment latency, BGP propagation delays) are scheduled as events; the
+flow-level data plane advances in fixed time steps between events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .clock import SimulationClock
+from .events import Event, EventLog
+
+
+class SimulationEngine:
+    """Priority-queue based event scheduler."""
+
+    def __init__(self, clock: Optional[SimulationClock] = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self.log = EventLog()
+        self._queue: list[Event] = []
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(
+            self.clock.now + delay, callback, *args, priority=priority, name=name, **kwargs
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute simulation ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before current time {self.clock.now}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+            name=name,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event (advancing the clock to it).
+
+        Returns the fired event, or ``None`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.fire()
+            self._processed += 1
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events fired."""
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if self.step() is not None:
+                fired += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return fired

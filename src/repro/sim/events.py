@@ -1,0 +1,74 @@
+"""Event primitives for the discrete-event part of the simulation."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Global tie-breaking counter so that events scheduled for the same time
+#: fire in scheduling order (a stable, deterministic ordering).
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, sequence)`` so a heap of events
+    pops them in chronological order with deterministic tie-breaking.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    args: tuple = field(default=(), compare=False)
+    kwargs: dict = field(default_factory=dict, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    name: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine skips cancelled events."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (if any and not cancelled)."""
+        if self.cancelled or self.callback is None:
+            return None
+        return self.callback(*self.args, **self.kwargs)
+
+
+class EventLog:
+    """A simple append-only record of things that happened during a run.
+
+    Experiments use the event log to collect labelled observations (for
+    example "rule installed", "attack started") which the analysis layer
+    later turns into the time series plotted in the paper's figures.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, str, dict]] = []
+
+    def record(self, time: float, kind: str, **details: Any) -> None:
+        """Append an entry at simulation ``time`` with a ``kind`` label."""
+        self._entries.append((float(time), kind, dict(details)))
+
+    def entries(self, kind: str | None = None) -> list[tuple[float, str, dict]]:
+        """Return all entries, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry[1] == kind]
+
+    def times(self, kind: str) -> list[float]:
+        """Return the timestamps of all entries of a given ``kind``."""
+        return [time for time, entry_kind, _ in self._entries if entry_kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,63 @@
+"""Traffic substrate: flow records, amplification attacks, synthetic traces."""
+
+from .amplification import (
+    AMPLIFICATION_PRONE_PORTS,
+    VECTORS,
+    AmplificationVector,
+    get_vector,
+    vector_for_port,
+)
+from .attacks import AmplificationAttack, BenignTrafficSource, BooterAttack
+from .flow import (
+    FiveTuple,
+    FlowRecord,
+    distinct_ingress_members,
+    distinct_sources,
+    total_bytes,
+    total_rate_bps,
+)
+from .generator import IxpTraceGenerator, MemberAttackScenarioGenerator, RtbhEvent
+from .ipfix import ExportedRecord, IpfixCollector, IpfixExporter
+from .packet import ETHERNET_MTU, IpProtocol, PacketTemplate, WellKnownPort
+from .profiles import (
+    TrafficProfile,
+    attack_profile,
+    benign_web_profile,
+    blackholed_traffic_profile,
+    other_traffic_profile,
+)
+from .trace import TrafficTrace, service_port
+
+__all__ = [
+    "AMPLIFICATION_PRONE_PORTS",
+    "VECTORS",
+    "AmplificationVector",
+    "get_vector",
+    "vector_for_port",
+    "AmplificationAttack",
+    "BenignTrafficSource",
+    "BooterAttack",
+    "FiveTuple",
+    "FlowRecord",
+    "distinct_ingress_members",
+    "distinct_sources",
+    "total_bytes",
+    "total_rate_bps",
+    "IxpTraceGenerator",
+    "MemberAttackScenarioGenerator",
+    "RtbhEvent",
+    "ExportedRecord",
+    "IpfixCollector",
+    "IpfixExporter",
+    "ETHERNET_MTU",
+    "IpProtocol",
+    "PacketTemplate",
+    "WellKnownPort",
+    "TrafficProfile",
+    "attack_profile",
+    "benign_web_profile",
+    "blackholed_traffic_profile",
+    "other_traffic_profile",
+    "TrafficTrace",
+    "service_port",
+]

@@ -1,0 +1,280 @@
+"""Attack models.
+
+Two attack abstractions feed the experiments:
+
+* :class:`AmplificationAttack` — a volumetric reflection attack towards a
+  single victim IP, characterised by the abused vector (NTP, memcached, …),
+  a peak rate, a start time and a duration.  It produces flow records per
+  observation interval with the reflected traffic spread across many
+  reflector sources entering the IXP through many member ports.
+* :class:`BooterAttack` — the controlled booter-service experiment of
+  §2.4 / §5.3: a short attack of roughly 1 Gbps arriving from a few dozen
+  peers, used for Fig. 3(c) and Fig. 10(c).
+
+Both are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .amplification import AmplificationVector, get_vector
+from .flow import FiveTuple, FlowRecord
+from .packet import IpProtocol
+
+
+def _reflector_ip(rng: np.random.Generator) -> str:
+    """Draw a pseudo-random public-looking reflector IP address."""
+    # Avoid the 10/8, 127/8, 192.168/16 etc. ranges by sticking to a few
+    # documentation-free public /8s.
+    first_octet = int(rng.choice([23, 45, 62, 80, 93, 104, 130, 151, 178, 203]))
+    rest = rng.integers(1, 254, size=3)
+    return f"{first_octet}.{rest[0]}.{rest[1]}.{rest[2]}"
+
+
+def _ramp_factor(elapsed: float, ramp_seconds: float) -> float:
+    """Linear attack ramp-up factor in [0, 1]."""
+    if ramp_seconds <= 0:
+        return 1.0
+    return min(1.0, max(0.0, elapsed / ramp_seconds))
+
+
+@dataclass
+class AmplificationAttack:
+    """A reflection/amplification attack against a single victim IP."""
+
+    victim_ip: str
+    vector: AmplificationVector
+    peak_rate_bps: float
+    start: float
+    duration: float
+    #: Member ASNs (ingress ports) the reflected traffic arrives through.
+    ingress_member_asns: Sequence[int]
+    #: Member ASN that owns the victim (egress port).
+    victim_member_asn: int
+    #: Number of distinct reflector source IPs.
+    reflector_count: int = 200
+    #: Seconds over which the attack ramps up to its peak rate.
+    ramp_seconds: float = 20.0
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _reflectors: List[tuple[str, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.peak_rate_bps <= 0:
+            raise ValueError("peak_rate_bps must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.ingress_member_asns:
+            raise ValueError("at least one ingress member is required")
+        if self.reflector_count < 1:
+            raise ValueError("reflector_count must be >= 1")
+        self._rng = make_rng(self.seed)
+        members = list(self.ingress_member_asns)
+        self._reflectors = [
+            (_reflector_ip(self._rng), members[i % len(members)])
+            for i in range(self.reflector_count)
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vector_name(cls, vector_name: str, **kwargs) -> "AmplificationAttack":
+        """Construct using a vector name from the catalogue."""
+        return cls(vector=get_vector(vector_name), **kwargs)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def is_active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    def rate_at(self, time: float) -> float:
+        """Attack rate (bits/second) at a given time."""
+        if not self.is_active(time):
+            return 0.0
+        return self.peak_rate_bps * _ramp_factor(time - self.start, self.ramp_seconds)
+
+    # ------------------------------------------------------------------
+    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+        """Flow records for one observation interval of length ``interval``.
+
+        The interval's attack volume is split across the reflectors with a
+        heavy-tailed weighting (a few reflectors send most of the traffic,
+        as observed for real amplification attacks).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        overlap_start = max(interval_start, self.start)
+        overlap_end = min(interval_start + interval, self.end)
+        if overlap_end <= overlap_start:
+            return []
+
+        midpoint = (overlap_start + overlap_end) / 2
+        rate = self.rate_at(midpoint)
+        active_seconds = overlap_end - overlap_start
+        total_bytes = rate * active_seconds / 8
+        if total_bytes < 1:
+            return []
+
+        weights = self._rng.pareto(1.2, size=len(self._reflectors)) + 1.0
+        weights = weights / weights.sum()
+        response_size = max(64, self.vector.response_bytes)
+
+        flows = []
+        for (src_ip, ingress_asn), weight in zip(self._reflectors, weights):
+            flow_bytes = int(total_bytes * weight)
+            if flow_bytes <= 0:
+                continue
+            packets = max(1, flow_bytes // min(response_size, 1500))
+            flows.append(
+                FlowRecord(
+                    key=FiveTuple(
+                        src_ip=src_ip,
+                        dst_ip=self.victim_ip,
+                        protocol=self.vector.protocol,
+                        src_port=self.vector.source_port,
+                        dst_port=int(self._rng.integers(1024, 65535)),
+                    ),
+                    start=overlap_start,
+                    duration=active_seconds,
+                    bytes=flow_bytes,
+                    packets=int(packets),
+                    ingress_member_asn=ingress_asn,
+                    egress_member_asn=self.victim_member_asn,
+                    src_mac=f"02:00:00:00:{(ingress_asn >> 8) & 0xFF:02x}:{ingress_asn & 0xFF:02x}",
+                    is_attack=True,
+                )
+            )
+        return flows
+
+
+@dataclass
+class BooterAttack:
+    """The controlled booter-service attack of the paper's experiments.
+
+    §2.4 and §5.3 describe a short (~10 minute) attack peaking around
+    1 Gbps, received from roughly 40 (RTBH experiment) to 60 (Stellar
+    experiment) distinct peers.  The booter abuses an NTP reflection vector
+    by default.
+    """
+
+    victim_ip: str
+    victim_member_asn: int
+    peer_member_asns: Sequence[int]
+    peak_rate_bps: float = 1e9
+    start: float = 100.0
+    duration: float = 600.0
+    vector_name: str = "ntp"
+    ramp_seconds: float = 30.0
+    #: Reflectors per participating peer.
+    reflectors_per_peer: int = 12
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.peer_member_asns:
+            raise ValueError("at least one peer member is required")
+        self._attack = AmplificationAttack(
+            victim_ip=self.victim_ip,
+            vector=get_vector(self.vector_name),
+            peak_rate_bps=self.peak_rate_bps,
+            start=self.start,
+            duration=self.duration,
+            ingress_member_asns=list(self.peer_member_asns),
+            victim_member_asn=self.victim_member_asn,
+            reflector_count=len(self.peer_member_asns) * self.reflectors_per_peer,
+            ramp_seconds=self.ramp_seconds,
+            seed=self.seed,
+        )
+
+    @property
+    def vector(self) -> AmplificationVector:
+        return self._attack.vector
+
+    @property
+    def end(self) -> float:
+        return self._attack.end
+
+    def is_active(self, time: float) -> bool:
+        return self._attack.is_active(time)
+
+    def rate_at(self, time: float) -> float:
+        return self._attack.rate_at(time)
+
+    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+        return self._attack.flows(interval_start, interval)
+
+
+@dataclass
+class BenignTrafficSource:
+    """Steady legitimate traffic towards a victim/service IP.
+
+    Used to overlay legitimate web traffic on the attack scenarios so the
+    collateral-damage analyses have something to lose.
+    """
+
+    dst_ip: str
+    egress_member_asn: int
+    ingress_member_asns: Sequence[int]
+    rate_bps: float
+    profile_name: str = "benign-web"
+    client_count: int = 50
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate_bps < 0:
+            raise ValueError("rate_bps must be non-negative")
+        if not self.ingress_member_asns:
+            raise ValueError("at least one ingress member is required")
+        self._rng = make_rng(self.seed)
+        members = list(self.ingress_member_asns)
+        self._clients = [
+            (_reflector_ip(self._rng), members[i % len(members)])
+            for i in range(self.client_count)
+        ]
+
+    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+        """Flow records for one observation interval."""
+        from .profiles import benign_web_profile
+
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.rate_bps == 0:
+            return []
+        profile = benign_web_profile()
+        total_bytes = self.rate_bps * interval / 8
+        weights = self._rng.dirichlet(np.ones(len(self._clients)) * 2.0)
+
+        flows = []
+        for (src_ip, ingress_asn), weight in zip(self._clients, weights):
+            flow_bytes = int(total_bytes * weight)
+            if flow_bytes <= 0:
+                continue
+            protocol, service_port = profile.sample_class(self._rng)
+            # Legitimate clients talk *to* the service port; the flow's
+            # destination port carries the service, the source port is
+            # ephemeral.  (Attack traffic is the other way around.)
+            flows.append(
+                FlowRecord(
+                    key=FiveTuple(
+                        src_ip=src_ip,
+                        dst_ip=self.dst_ip,
+                        protocol=protocol,
+                        src_port=int(self._rng.integers(1024, 65535)),
+                        dst_port=service_port,
+                    ),
+                    start=interval_start,
+                    duration=interval,
+                    bytes=flow_bytes,
+                    packets=max(1, flow_bytes // 1200),
+                    ingress_member_asn=ingress_asn,
+                    egress_member_asn=self.egress_member_asn,
+                    src_mac=f"02:00:00:00:{(ingress_asn >> 8) & 0xFF:02x}:{ingress_asn & 0xFF:02x}",
+                    is_attack=False,
+                )
+            )
+        return flows

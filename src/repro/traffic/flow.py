@@ -1,0 +1,144 @@
+"""Flow records.
+
+The reproduction's data plane operates on flow records similar to the IPFIX
+records the paper analyses (§2.3): a 5-tuple plus byte/packet counters,
+timestamps and book-keeping about the IXP members the flow enters and
+leaves through.  A :class:`FlowRecord` describes the traffic of one flow
+over one observation interval, which is the granularity the time-series
+figures (Fig. 2(c), 3(c), 10(c)) are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .packet import IpProtocol
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic flow key."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: IpProtocol
+    src_port: int = 0
+    dst_port: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if not 0 <= port <= 65535:
+                raise ValueError(f"{name} must be a valid L4 port, got {port}")
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse direction of the flow."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Traffic of one flow during one observation interval.
+
+    ``ingress_member_asn`` / ``egress_member_asn`` identify the IXP members
+    the traffic enters and leaves through; ``src_mac`` is the MAC address of
+    the ingress member's router (needed for the MAC-based filters of RTBH
+    policy control, Fig. 9).
+    """
+
+    key: FiveTuple
+    start: float
+    duration: float
+    bytes: int
+    packets: int
+    ingress_member_asn: int = 0
+    egress_member_asn: int = 0
+    src_mac: str = ""
+    #: Marks flows that are part of an attack (ground truth for analyses).
+    is_attack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.bytes < 0 or self.packets < 0:
+            raise ValueError("bytes and packets must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def src_ip(self) -> str:
+        return self.key.src_ip
+
+    @property
+    def dst_ip(self) -> str:
+        return self.key.dst_ip
+
+    @property
+    def protocol(self) -> IpProtocol:
+        return self.key.protocol
+
+    @property
+    def src_port(self) -> int:
+        return self.key.src_port
+
+    @property
+    def dst_port(self) -> int:
+        return self.key.dst_port
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def bits(self) -> int:
+        return self.bytes * 8
+
+    def rate_bps(self) -> float:
+        """Average rate in bits per second over the interval."""
+        if self.duration == 0:
+            return 0.0
+        return self.bits / self.duration
+
+    def scaled(self, factor: float) -> "FlowRecord":
+        """Return a copy with bytes/packets scaled by ``factor`` (shaping)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return replace(
+            self,
+            bytes=int(round(self.bytes * factor)),
+            packets=max(1, int(round(self.packets * factor))) if factor > 0 else 0,
+        )
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True if the flow interval overlaps [start, end)."""
+        return self.start < end and self.end > start
+
+
+def total_bytes(flows) -> int:
+    """Sum of bytes over an iterable of flow records."""
+    return sum(flow.bytes for flow in flows)
+
+
+def total_rate_bps(flows, interval: float) -> float:
+    """Aggregate rate in bits/second of the flows over ``interval`` seconds."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    return sum(flow.bytes for flow in flows) * 8 / interval
+
+
+def distinct_sources(flows) -> set:
+    """Distinct source IPs in an iterable of flow records."""
+    return {flow.src_ip for flow in flows}
+
+
+def distinct_ingress_members(flows) -> set:
+    """Distinct ingress member ASNs (the "#peers" series of Fig. 3(c)/10(c))."""
+    return {flow.ingress_member_asn for flow in flows if flow.ingress_member_asn}

@@ -1,0 +1,262 @@
+"""Synthetic IXP trace generation.
+
+The paper's measurement study (§2.3) analyses two weeks of IPFIX data from
+L-IXP.  Production traces are obviously unavailable, so this module
+generates synthetic traces whose statistical structure matches the
+properties the paper reports:
+
+* :class:`IxpTraceGenerator` — a whole-IXP trace with "regular" traffic
+  (port/protocol mix from :func:`~repro.traffic.profiles.other_traffic_profile`)
+  and a set of RTBH events whose traffic follows
+  :func:`~repro.traffic.profiles.blackholed_traffic_profile`.
+* :class:`MemberAttackScenarioGenerator` — the Fig. 2(c) single-member
+  scenario: steady web traffic to one member IP plus a memcached
+  amplification attack that starts mid-trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .amplification import get_vector
+from .attacks import AmplificationAttack, BenignTrafficSource
+from .flow import FiveTuple, FlowRecord
+from .packet import IpProtocol
+from .profiles import (
+    TrafficProfile,
+    benign_web_profile,
+    blackholed_traffic_profile,
+    other_traffic_profile,
+)
+from .trace import TrafficTrace
+
+
+@dataclass(frozen=True)
+class RtbhEvent:
+    """One blackholing event in the synthetic IXP trace."""
+
+    victim_ip: str
+    victim_member_asn: int
+    start: float
+    duration: float
+    rate_bps: float
+
+
+@dataclass
+class IxpTraceGenerator:
+    """Generate a whole-IXP synthetic trace with RTBH events.
+
+    The trace contains two flow populations:
+
+    * *other* traffic — regular inter-member traffic whose port/protocol mix
+      follows the non-blackholed distribution of §2.3 (TCP ≈ 87 %),
+    * *blackholed* traffic — traffic towards prefixes under RTBH, dominated
+      by UDP amplification-prone source ports.
+
+    Flow records towards RTBH victims are marked ``is_attack=True``, which
+    is the ground truth the Fig. 3(a) analysis groups by.
+    """
+
+    member_asns: Sequence[int]
+    duration: float = 3600.0
+    interval: float = 60.0
+    #: Aggregate regular traffic rate across the IXP (bits/second).
+    regular_rate_bps: float = 50e9
+    #: Aggregate rate towards blackholed prefixes during events.
+    blackholed_rate_bps: float = 5e9
+    rtbh_events: Sequence[RtbhEvent] = field(default_factory=tuple)
+    flows_per_interval: int = 400
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.member_asns) < 2:
+            raise ValueError("an IXP trace needs at least two members")
+        if self.interval <= 0 or self.duration <= 0:
+            raise ValueError("interval and duration must be positive")
+        self._rng = make_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def default_events(self, count: int = 20) -> List[RtbhEvent]:
+        """Create ``count`` randomly placed RTBH events."""
+        events = []
+        members = list(self.member_asns)
+        for i in range(count):
+            member = members[int(self._rng.integers(0, len(members)))]
+            start = float(self._rng.uniform(0, self.duration * 0.8))
+            duration = float(self._rng.uniform(self.duration * 0.05, self.duration * 0.3))
+            events.append(
+                RtbhEvent(
+                    victim_ip=f"100.{64 + i % 128}.{int(self._rng.integers(1, 254))}."
+                    f"{int(self._rng.integers(1, 254))}",
+                    victim_member_asn=member,
+                    start=start,
+                    duration=duration,
+                    rate_bps=float(self._rng.uniform(0.2, 1.5)) * self.blackholed_rate_bps,
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------
+    def _profile_flows(
+        self,
+        profile: TrafficProfile,
+        total_bytes: float,
+        count: int,
+        interval_start: float,
+        is_attack: bool,
+        dst_ip: Optional[str] = None,
+        egress_member: Optional[int] = None,
+    ) -> List[FlowRecord]:
+        """Spread ``total_bytes`` over ``count`` flows drawn from ``profile``."""
+        if total_bytes < 1 or count < 1:
+            return []
+        members = list(self.member_asns)
+        weights = self._rng.dirichlet(np.ones(count) * 1.2)
+        flows = []
+        for weight in weights:
+            flow_bytes = int(total_bytes * weight)
+            if flow_bytes <= 0:
+                continue
+            protocol, src_port = profile.sample_class(self._rng)
+            ingress = members[int(self._rng.integers(0, len(members)))]
+            egress = (
+                egress_member
+                if egress_member is not None
+                else members[int(self._rng.integers(0, len(members)))]
+            )
+            destination = (
+                dst_ip
+                if dst_ip is not None
+                else f"100.{int(self._rng.integers(64, 127))}."
+                f"{int(self._rng.integers(1, 254))}.{int(self._rng.integers(1, 254))}"
+            )
+            # Amplification traffic has the abused port as *source*; regular
+            # client/server traffic as *destination* for TCP classes.
+            if protocol is IpProtocol.TCP and not is_attack:
+                src, dst = int(self._rng.integers(1024, 65535)), src_port
+            else:
+                src, dst = src_port, int(self._rng.integers(1024, 65535))
+            flows.append(
+                FlowRecord(
+                    key=FiveTuple(
+                        src_ip=f"{int(self._rng.choice([23, 45, 62, 80, 93, 104]))}."
+                        f"{int(self._rng.integers(1, 254))}."
+                        f"{int(self._rng.integers(1, 254))}."
+                        f"{int(self._rng.integers(1, 254))}",
+                        dst_ip=destination,
+                        protocol=protocol,
+                        src_port=src,
+                        dst_port=dst,
+                    ),
+                    start=interval_start,
+                    duration=self.interval,
+                    bytes=flow_bytes,
+                    packets=max(1, flow_bytes // 1000),
+                    ingress_member_asn=ingress,
+                    egress_member_asn=egress,
+                    src_mac=f"02:00:00:00:{(ingress >> 8) & 0xFF:02x}:{ingress & 0xFF:02x}",
+                    is_attack=is_attack,
+                )
+            )
+        return flows
+
+    def generate(self) -> TrafficTrace:
+        """Generate the full trace."""
+        trace = TrafficTrace()
+        other_profile = other_traffic_profile()
+        blackholed_profile = blackholed_traffic_profile()
+        events = list(self.rtbh_events)
+        intervals = int(self.duration / self.interval)
+        for i in range(intervals):
+            interval_start = i * self.interval
+            regular_bytes = self.regular_rate_bps * self.interval / 8
+            trace.extend(
+                self._profile_flows(
+                    other_profile,
+                    regular_bytes,
+                    self.flows_per_interval,
+                    interval_start,
+                    is_attack=False,
+                )
+            )
+            for event in events:
+                if not (event.start <= interval_start < event.start + event.duration):
+                    continue
+                event_bytes = event.rate_bps * self.interval / 8
+                trace.extend(
+                    self._profile_flows(
+                        blackholed_profile,
+                        event_bytes,
+                        max(20, self.flows_per_interval // 10),
+                        interval_start,
+                        is_attack=True,
+                        dst_ip=event.victim_ip,
+                        egress_member=event.victim_member_asn,
+                    )
+                )
+        return trace
+
+
+@dataclass
+class MemberAttackScenarioGenerator:
+    """The Fig. 2(c) scenario: a web-hosting member hit by an amplification attack.
+
+    Before the attack the member's IP receives web traffic (443/80/8080/1935
+    dominant); at ``attack_start`` a memcached (or other vector) attack
+    begins and quickly dominates the port share.
+    """
+
+    victim_ip: str
+    victim_member_asn: int
+    peer_member_asns: Sequence[int]
+    duration: float = 3600.0
+    interval: float = 60.0
+    benign_rate_bps: float = 2e9
+    attack_rate_bps: float = 40e9
+    attack_start: float = 1260.0  # 21 minutes in, mirroring the 20:21 onset.
+    attack_duration: Optional[float] = None
+    vector_name: str = "memcached"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.duration <= 0:
+            raise ValueError("interval and duration must be positive")
+        if not self.peer_member_asns:
+            raise ValueError("at least one peer member is required")
+
+    def generate(self) -> TrafficTrace:
+        """Generate the member-facing trace."""
+        attack_duration = (
+            self.duration - self.attack_start
+            if self.attack_duration is None
+            else self.attack_duration
+        )
+        benign = BenignTrafficSource(
+            dst_ip=self.victim_ip,
+            egress_member_asn=self.victim_member_asn,
+            ingress_member_asns=list(self.peer_member_asns),
+            rate_bps=self.benign_rate_bps,
+            seed=self.seed,
+        )
+        attack = AmplificationAttack(
+            victim_ip=self.victim_ip,
+            vector=get_vector(self.vector_name),
+            peak_rate_bps=self.attack_rate_bps,
+            start=self.attack_start,
+            duration=attack_duration,
+            ingress_member_asns=list(self.peer_member_asns),
+            victim_member_asn=self.victim_member_asn,
+            ramp_seconds=2 * self.interval,
+            seed=self.seed,
+        )
+        trace = TrafficTrace()
+        intervals = int(self.duration / self.interval)
+        for i in range(intervals):
+            interval_start = i * self.interval
+            trace.extend(benign.flows(interval_start, self.interval))
+            trace.extend(attack.flows(interval_start, self.interval))
+        return trace

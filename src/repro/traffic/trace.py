@@ -1,0 +1,190 @@
+"""Traffic traces.
+
+A :class:`TrafficTrace` is an ordered collection of flow records spanning an
+observation window, with query helpers used by the analysis layer: binning
+into time series, filtering by destination, grouping by "service port"
+(the well-known port of a flow, which is how the paper's per-port traffic
+shares are computed).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .flow import FlowRecord
+from .packet import IpProtocol
+
+#: L4 ports considered "well known" when deciding a flow's service port.
+_WELL_KNOWN_LIMIT = 49152
+
+
+def service_port(flow: FlowRecord) -> int:
+    """The port that identifies the flow's application.
+
+    Reflected amplification traffic carries the abused service's port as the
+    *source* port; client-to-server web traffic carries it as the
+    *destination* port.  Following common trace-analysis practice we pick the
+    numerically smaller, registered-range port (ties favour the source
+    port), which matches how the paper labels the shares of Fig. 2(c) and
+    Fig. 3(a).
+    """
+    src, dst = flow.src_port, flow.dst_port
+    if src == 0 or dst == 0:
+        # Port 0 flows (fragments) are their own class.
+        return 0
+    candidates = [port for port in (src, dst) if port < _WELL_KNOWN_LIMIT]
+    if not candidates:
+        return min(src, dst)
+    return min(candidates)
+
+
+@dataclass
+class TrafficTrace:
+    """An ordered collection of flow records."""
+
+    flows: List[FlowRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, flow: FlowRecord) -> None:
+        self.flows.append(flow)
+
+    def extend(self, flows: Iterable[FlowRecord]) -> None:
+        self.flows.extend(flows)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self.flows)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(flow.bytes for flow in self.flows)
+
+    @property
+    def start(self) -> float:
+        return min((flow.start for flow in self.flows), default=0.0)
+
+    @property
+    def end(self) -> float:
+        return max((flow.end for flow in self.flows), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[FlowRecord], bool]) -> "TrafficTrace":
+        """A new trace with only the flows satisfying ``predicate``."""
+        return TrafficTrace([flow for flow in self.flows if predicate(flow)])
+
+    def towards(self, dst_ip: str) -> "TrafficTrace":
+        """Flows destined to a specific IP address."""
+        return self.filter(lambda flow: flow.dst_ip == dst_ip)
+
+    def towards_member(self, member_asn: int) -> "TrafficTrace":
+        """Flows leaving the IXP through a specific member."""
+        return self.filter(lambda flow: flow.egress_member_asn == member_asn)
+
+    def attack_flows(self) -> "TrafficTrace":
+        return self.filter(lambda flow: flow.is_attack)
+
+    def benign_flows(self) -> "TrafficTrace":
+        return self.filter(lambda flow: not flow.is_attack)
+
+    def between(self, start: float, end: float) -> "TrafficTrace":
+        """Flows overlapping the interval [start, end)."""
+        return self.filter(lambda flow: flow.overlaps(start, end))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def bytes_by_service_port(self) -> Dict[int, int]:
+        """Total bytes grouped by the flows' service port."""
+        totals: Dict[int, int] = defaultdict(int)
+        for flow in self.flows:
+            totals[service_port(flow)] += flow.bytes
+        return dict(totals)
+
+    def share_by_service_port(self, top: Optional[int] = None) -> Dict[int, float]:
+        """Byte share per service port; remaining ports folded into ``-1``.
+
+        ``top`` limits the explicit entries to the ``top`` largest ports;
+        the remainder is aggregated under the key ``-1`` ("others").
+        """
+        totals = self.bytes_by_service_port()
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return {}
+        shares = {port: value / grand_total for port, value in totals.items()}
+        if top is None or len(shares) <= top:
+            return shares
+        ranked = sorted(shares.items(), key=lambda item: item[1], reverse=True)
+        head = dict(ranked[:top])
+        head[-1] = sum(share for _, share in ranked[top:])
+        return head
+
+    def bytes_by_protocol(self) -> Dict[IpProtocol, int]:
+        """Total bytes grouped by IP protocol."""
+        totals: Dict[IpProtocol, int] = defaultdict(int)
+        for flow in self.flows:
+            totals[flow.protocol] += flow.bytes
+        return dict(totals)
+
+    def share_by_protocol(self) -> Dict[IpProtocol, float]:
+        totals = self.bytes_by_protocol()
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return {}
+        return {proto: value / grand_total for proto, value in totals.items()}
+
+    def bytes_by_source_port(self) -> Dict[int, int]:
+        """Total bytes grouped by raw source port (used for Fig. 3(a))."""
+        totals: Dict[int, int] = defaultdict(int)
+        for flow in self.flows:
+            totals[flow.src_port] += flow.bytes
+        return dict(totals)
+
+    def distinct_ingress_members(self) -> set[int]:
+        return {flow.ingress_member_asn for flow in self.flows if flow.ingress_member_asn}
+
+    # ------------------------------------------------------------------
+    # Time series
+    # ------------------------------------------------------------------
+    def rate_timeseries(
+        self, bin_seconds: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> tuple[list[float], list[float]]:
+        """Aggregate bit-rate time series.
+
+        Returns ``(bin_start_times, rates_bps)``.  A flow's bytes are spread
+        uniformly over its duration and attributed to bins proportionally to
+        the overlap.
+        """
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        if not self.flows:
+            return [], []
+        trace_start = self.start if start is None else start
+        trace_end = self.end if end is None else end
+        if trace_end <= trace_start:
+            return [], []
+        bin_count = int((trace_end - trace_start) / bin_seconds) + 1
+        times = [trace_start + i * bin_seconds for i in range(bin_count)]
+        volumes = [0.0] * bin_count
+        for flow in self.flows:
+            duration = flow.duration if flow.duration > 0 else bin_seconds
+            rate = flow.bytes / duration
+            for i, bin_start in enumerate(times):
+                bin_end = bin_start + bin_seconds
+                overlap = min(flow.end, bin_end) - max(flow.start, bin_start)
+                if flow.duration == 0:
+                    overlap = bin_seconds if bin_start <= flow.start < bin_end else 0
+                if overlap > 0:
+                    volumes[i] += rate * overlap
+        rates = [volume * 8 / bin_seconds for volume in volumes]
+        return times, rates

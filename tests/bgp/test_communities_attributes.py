@@ -1,0 +1,140 @@
+"""Tests for BGP communities and path attributes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp import (
+    ExtendedCommunity,
+    LargeCommunity,
+    Origin,
+    PathAttributes,
+    StandardCommunity,
+    blackhole_community,
+    rtbh_community,
+)
+
+
+class TestStandardCommunity:
+    def test_parse_round_trip(self):
+        community = StandardCommunity.parse("6695:666")
+        assert (community.asn, community.value) == (6695, 666)
+        assert str(community) == "6695:666"
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            StandardCommunity.parse("no-colon")
+
+    def test_rejects_values_over_16_bits(self):
+        with pytest.raises(ValueError):
+            StandardCommunity(70000, 1)
+        with pytest.raises(ValueError):
+            StandardCommunity(1, 70000)
+
+    def test_is_blackhole_for_666_value(self):
+        assert StandardCommunity(6695, 666).is_blackhole
+
+    def test_is_blackhole_for_rfc7999(self):
+        assert blackhole_community().is_blackhole
+        assert blackhole_community() == StandardCommunity(65535, 666)
+
+    def test_ordinary_community_is_not_blackhole(self):
+        assert not StandardCommunity(6695, 100).is_blackhole
+
+    def test_rtbh_community_builder(self):
+        assert rtbh_community(6695) == StandardCommunity(6695, 666)
+
+
+class TestExtendedCommunity:
+    def test_pack_unpack_round_trip(self):
+        community = ExtendedCommunity(type=0x80, subtype=0x01, global_admin=6695, local_admin=123)
+        assert ExtendedCommunity.unpack(community.pack()) == community
+
+    def test_field_range_validation(self):
+        with pytest.raises(ValueError):
+            ExtendedCommunity(type=256, subtype=0, global_admin=0, local_admin=0)
+        with pytest.raises(ValueError):
+            ExtendedCommunity(type=0, subtype=300, global_admin=0, local_admin=0)
+        with pytest.raises(ValueError):
+            ExtendedCommunity(type=0, subtype=0, global_admin=2**16, local_admin=0)
+        with pytest.raises(ValueError):
+            ExtendedCommunity(type=0, subtype=0, global_admin=0, local_admin=2**32)
+
+    def test_unpack_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            ExtendedCommunity.unpack(2**64)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFF),
+        st.integers(min_value=0, max_value=0xFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_property_pack_unpack(self, type_, subtype, global_admin, local_admin):
+        community = ExtendedCommunity(type_, subtype, global_admin, local_admin)
+        assert ExtendedCommunity.unpack(community.pack()) == community
+
+
+class TestLargeCommunity:
+    def test_parse_round_trip(self):
+        community = LargeCommunity.parse("64500:1:2")
+        assert str(community) == "64500:1:2"
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            LargeCommunity.parse("1:2")
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            LargeCommunity(2**32, 0, 0)
+
+
+class TestPathAttributes:
+    def test_defaults(self):
+        attrs = PathAttributes()
+        assert attrs.origin is Origin.IGP
+        assert attrs.local_pref == 100
+        assert attrs.as_path == ()
+        assert attrs.origin_asn is None
+        assert attrs.neighbor_asn is None
+
+    def test_as_path_accessors(self):
+        attrs = PathAttributes(as_path=(100, 200, 300))
+        assert attrs.neighbor_asn == 100
+        assert attrs.origin_asn == 300
+        assert attrs.as_path_length == 3
+
+    def test_prepend(self):
+        attrs = PathAttributes(as_path=(200,)).prepend(100, times=2)
+        assert attrs.as_path == (100, 100, 200)
+
+    def test_prepend_rejects_zero_times(self):
+        with pytest.raises(ValueError):
+            PathAttributes().prepend(100, times=0)
+
+    def test_with_communities_is_additive_and_pure(self):
+        original = PathAttributes()
+        tagged = original.with_communities(rtbh_community(6695))
+        assert rtbh_community(6695) in tagged.communities
+        assert original.communities == frozenset()
+
+    def test_with_extended_communities(self):
+        community = ExtendedCommunity(0x80, 0x01, 6695, 1)
+        attrs = PathAttributes().with_extended_communities(community)
+        assert community in attrs.extended_communities
+
+    def test_with_large_communities(self):
+        community = LargeCommunity(64500, 1, 2)
+        attrs = PathAttributes().with_large_communities(community)
+        assert community in attrs.large_communities
+
+    def test_with_next_hop(self):
+        assert PathAttributes().with_next_hop("192.0.2.1").next_hop == "192.0.2.1"
+
+    def test_has_blackhole_community(self):
+        attrs = PathAttributes().with_communities(rtbh_community(6695))
+        assert attrs.has_blackhole_community
+        assert not PathAttributes().has_blackhole_community
+
+    def test_has_community(self):
+        community = StandardCommunity(6695, 100)
+        assert PathAttributes().with_communities(community).has_community(community)

@@ -1,0 +1,242 @@
+"""Tests for edge routers, hardware profiles and the switching fabric."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.ixp import (
+    EdgeRouter,
+    FilterAction,
+    FlowMatch,
+    HardwareProfile,
+    IxpMember,
+    PortNotFoundError,
+    QosRule,
+    SwitchingFabric,
+    TcamExhaustedError,
+    TcamStatus,
+    l_ixp_edge_router_profile,
+    sdn_switch_profile,
+    small_ixp_edge_router_profile,
+)
+from repro.traffic import FiveTuple, FlowRecord, IpProtocol
+
+
+def make_flow(dst_ip="100.10.10.10", egress=64500, bytes_=10_000, src_port=123):
+    return FlowRecord(
+        key=FiveTuple("23.1.1.1", dst_ip, IpProtocol.UDP, src_port, 40000),
+        start=0.0,
+        duration=10.0,
+        bytes=bytes_,
+        packets=10,
+        ingress_member_asn=65001,
+        egress_member_asn=egress,
+        is_attack=True,
+    )
+
+
+def drop_rule(rule_id="r1", src_port=123):
+    return QosRule(
+        match=FlowMatch(
+            dst_prefix=Prefix.parse("100.10.10.10/32"),
+            protocol=IpProtocol.UDP,
+            src_port=src_port,
+        ),
+        action=FilterAction.DROP,
+        rule_id=rule_id,
+    )
+
+
+class TestHardwareProfiles:
+    def test_l_ixp_profile_calibration(self):
+        profile = l_ixp_edge_router_profile(port_count=350, parallel_rtbh_n=16)
+        assert profile.mac_filter_capacity == int(5.0 * 350 * 16)
+        assert profile.l3l4_criteria_capacity == int(1.9 * 350 * 16)
+        assert profile.port_count == 350
+
+    def test_profiles_make_components(self):
+        profile = small_ixp_edge_router_profile()
+        tcam = profile.make_tcam()
+        assert tcam.mac_filter_capacity == profile.mac_filter_capacity
+        cpu = profile.make_cpu_model(seed=1)
+        assert cpu.cpu_limit_percent == profile.cpu_limit_percent
+
+    def test_sdn_profile_has_symmetric_tables(self):
+        profile = sdn_switch_profile()
+        assert profile.mac_filter_capacity == profile.l3l4_criteria_capacity
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            HardwareProfile(name="x", port_count=0, mac_filter_capacity=1, l3l4_criteria_capacity=1)
+
+
+class TestEdgeRouter:
+    def _router(self, ports=4):
+        profile = HardwareProfile(
+            name="test", port_count=ports, mac_filter_capacity=100, l3l4_criteria_capacity=100
+        )
+        return EdgeRouter("er-1", profile=profile, seed=1)
+
+    def test_connect_member_assigns_port(self):
+        router = self._router()
+        port = router.connect_member(IxpMember(asn=64500))
+        assert router.has_member(64500)
+        assert router.port_for(64500) is port
+        assert port.port_id == 1
+
+    def test_connect_member_is_idempotent(self):
+        router = self._router()
+        member = IxpMember(asn=64500)
+        assert router.connect_member(member) is router.connect_member(member)
+
+    def test_port_limit(self):
+        router = self._router(ports=1)
+        router.connect_member(IxpMember(asn=1))
+        with pytest.raises(RuntimeError):
+            router.connect_member(IxpMember(asn=2))
+
+    def test_unknown_member_port_lookup(self):
+        with pytest.raises(PortNotFoundError):
+            self._router().port_for(9999)
+
+    def test_install_rule_consumes_tcam(self):
+        router = self._router()
+        router.connect_member(IxpMember(asn=64500))
+        router.install_rule(64500, drop_rule())
+        assert router.tcam.l3l4_criteria_used == 3
+        assert router.config_operations == 1
+        assert len(router.installed_rules()) == 1
+
+    def test_remove_rule_releases_tcam(self):
+        router = self._router()
+        router.connect_member(IxpMember(asn=64500))
+        router.install_rule(64500, drop_rule())
+        assert router.remove_rule(64500, "r1")
+        assert router.tcam.l3l4_criteria_used == 0
+        assert not router.remove_rule(64500, "r1")
+
+    def test_reinstall_same_rule_id_does_not_leak_tcam(self):
+        router = self._router()
+        router.connect_member(IxpMember(asn=64500))
+        router.install_rule(64500, drop_rule())
+        router.install_rule(64500, drop_rule(src_port=53))
+        assert router.tcam.l3l4_criteria_used == 3
+        assert len(router.port_for(64500).rules()) == 1
+
+    def test_install_fails_when_tcam_full(self):
+        profile = HardwareProfile(
+            name="tiny", port_count=4, mac_filter_capacity=1, l3l4_criteria_capacity=3
+        )
+        router = EdgeRouter("tiny", profile=profile)
+        router.connect_member(IxpMember(asn=64500))
+        router.install_rule(64500, drop_rule("a"))
+        with pytest.raises(TcamExhaustedError):
+            router.install_rule(64500, drop_rule("b"))
+
+    def test_check_capacity(self):
+        router = self._router()
+        router.connect_member(IxpMember(asn=64500))
+        assert router.check_capacity(drop_rule()) is TcamStatus.OK
+
+    def test_deliver_applies_port_policy(self):
+        router = self._router()
+        router.connect_member(IxpMember(asn=64500, port_capacity_bps=1e9))
+        router.install_rule(64500, drop_rule())
+        results = router.deliver({64500: [make_flow()]}, interval=10.0)
+        assert results[64500].dropped_bits == 80_000
+
+    def test_cpu_helpers(self):
+        router = self._router()
+        assert 0 <= router.cpu_usage_for_rate(2.0) <= 100
+        assert router.max_sustainable_update_rate() > 0
+
+
+class TestSwitchingFabric:
+    def _fabric(self):
+        fabric = SwitchingFabric(name="test-ixp", platform_capacity_bps=1e12)
+        fabric.add_edge_router(EdgeRouter("er-1", profile=small_ixp_edge_router_profile()))
+        return fabric
+
+    def test_requires_router_before_members(self):
+        with pytest.raises(RuntimeError):
+            SwitchingFabric().connect_member(IxpMember(asn=1))
+
+    def test_duplicate_router_name_rejected(self):
+        fabric = self._fabric()
+        with pytest.raises(ValueError):
+            fabric.add_edge_router(EdgeRouter("er-1"))
+
+    def test_connect_and_lookup_member(self):
+        fabric = self._fabric()
+        member = IxpMember(asn=64500)
+        fabric.connect_member(member)
+        assert fabric.member(64500) is member
+        assert fabric.member_asns == {64500}
+        assert fabric.router_for_member(64500).name == "er-1"
+        assert fabric.port_for_member(64500).asn == 64500
+
+    def test_unknown_member_lookups_raise(self):
+        fabric = self._fabric()
+        with pytest.raises(KeyError):
+            fabric.member(1)
+        with pytest.raises(PortNotFoundError):
+            fabric.router_for_member(1)
+
+    def test_members_balance_across_routers(self):
+        fabric = self._fabric()
+        fabric.add_edge_router(EdgeRouter("er-2", profile=small_ixp_edge_router_profile()))
+        for i in range(4):
+            fabric.connect_member(IxpMember(asn=65000 + i))
+        counts = [len(router.member_asns) for router in fabric.edge_routers()]
+        assert sorted(counts) == [2, 2]
+
+    def test_pop_affinity(self):
+        fabric = self._fabric()
+        fabric.add_edge_router(EdgeRouter("er-fra2", profile=small_ixp_edge_router_profile(), pop="pop-2"))
+        fabric.connect_member(IxpMember(asn=65001, pop="pop-2"))
+        assert fabric.router_for_member(65001).pop == "pop-2"
+
+    def test_connected_capacity(self):
+        fabric = self._fabric()
+        fabric.connect_member(IxpMember(asn=1, port_capacity_bps=10e9))
+        fabric.connect_member(IxpMember(asn=2, port_capacity_bps=100e9))
+        assert fabric.connected_capacity_bps == 110e9
+
+    def test_deliver_groups_by_egress_member(self):
+        fabric = self._fabric()
+        fabric.connect_member(IxpMember(asn=64500, port_capacity_bps=1e9))
+        fabric.connect_member(IxpMember(asn=64501, port_capacity_bps=1e9))
+        flows = [make_flow(egress=64500), make_flow(egress=64501), make_flow(egress=9999)]
+        report = fabric.deliver(flows, interval=10.0, interval_start=0.0)
+        assert set(report.results_by_member) == {64500, 64501}
+        assert report.offered_bits == 160_000
+        assert report.delivered_bits == 160_000
+        assert len(fabric.reports) == 1
+
+    def test_deliver_with_installed_rule_filters(self):
+        fabric = self._fabric()
+        fabric.connect_member(IxpMember(asn=64500, port_capacity_bps=1e9))
+        fabric.router_for_member(64500).install_rule(64500, drop_rule())
+        report = fabric.deliver([make_flow()], interval=10.0)
+        assert report.filtered_bits == 80_000
+        assert report.delivered_bits == 0
+
+    def test_ipfix_collection(self):
+        fabric = self._fabric()
+        fabric.connect_member(IxpMember(asn=64500))
+        fabric.deliver([make_flow()], interval=10.0)
+        assert len(fabric.collector) == 1
+
+    def test_platform_overload_detection(self):
+        fabric = SwitchingFabric(platform_capacity_bps=1000.0)
+        fabric.add_edge_router(EdgeRouter("er", profile=small_ixp_edge_router_profile()))
+        fabric.connect_member(IxpMember(asn=64500, port_capacity_bps=1e9))
+        report = fabric.deliver([make_flow(bytes_=10_000_000)], interval=10.0)
+        assert fabric.platform_overloaded(report)
+
+    def test_invalid_platform_capacity(self):
+        with pytest.raises(ValueError):
+            SwitchingFabric(platform_capacity_bps=0)
+
+    def test_deliver_invalid_interval(self):
+        with pytest.raises(ValueError):
+            self._fabric().deliver([], interval=0)

@@ -1,0 +1,268 @@
+"""Tests for the QoS data plane, member ports and the control-plane CPU model."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.ixp import (
+    ControlPlaneCpuModel,
+    FilterAction,
+    FlowMatch,
+    IxpMember,
+    MemberPort,
+    PortQosPolicy,
+    QosRule,
+    default_mac,
+)
+from repro.traffic import FiveTuple, FlowRecord, IpProtocol
+
+
+def make_flow(src_port=123, protocol=IpProtocol.UDP, bytes_=10_000, dst_ip="100.10.10.10",
+              src_mac="", is_attack=True, dst_port=40000):
+    return FlowRecord(
+        key=FiveTuple("23.1.1.1", dst_ip, protocol, src_port, dst_port),
+        start=0.0,
+        duration=10.0,
+        bytes=bytes_,
+        packets=10,
+        ingress_member_asn=65001,
+        egress_member_asn=64500,
+        src_mac=src_mac,
+        is_attack=is_attack,
+    )
+
+
+class TestFlowMatch:
+    def test_resource_footprint(self):
+        match = FlowMatch(
+            dst_prefix=Prefix.parse("100.10.10.10/32"),
+            protocol=IpProtocol.UDP,
+            src_port=123,
+        )
+        assert match.l3l4_criteria == 3
+        assert match.mac_filter_entries == 0
+        mac_match = FlowMatch(src_mac="02:00:00:00:00:01")
+        assert mac_match.mac_filter_entries == 1
+        assert mac_match.l3l4_criteria == 0
+
+    def test_catch_all(self):
+        assert FlowMatch().is_catch_all
+        assert not FlowMatch(src_port=1).is_catch_all
+
+    def test_matching_by_fields(self):
+        match = FlowMatch(
+            dst_prefix=Prefix.parse("100.10.10.0/24"), protocol=IpProtocol.UDP, src_port=123
+        )
+        assert match.matches(make_flow())
+        assert not match.matches(make_flow(src_port=53))
+        assert not match.matches(make_flow(protocol=IpProtocol.TCP))
+        assert not match.matches(make_flow(dst_ip="9.9.9.9"))
+
+    def test_mac_matching_case_insensitive(self):
+        match = FlowMatch(src_mac="02:00:AA:BB:CC:DD")
+        assert match.matches(make_flow(src_mac="02:00:aa:bb:cc:dd"))
+        assert not match.matches(make_flow(src_mac="02:00:aa:bb:cc:de"))
+
+    def test_dst_port_and_src_prefix(self):
+        match = FlowMatch(src_prefix=Prefix.parse("23.0.0.0/8"), dst_port=40000)
+        assert match.matches(make_flow())
+        assert not match.matches(make_flow(dst_port=53))
+
+    def test_specificity_ordering(self):
+        broad = FlowMatch(dst_prefix=Prefix.parse("100.10.10.0/24"))
+        narrow = FlowMatch(
+            dst_prefix=Prefix.parse("100.10.10.10/32"), protocol=IpProtocol.UDP, src_port=123
+        )
+        assert narrow.specificity > broad.specificity
+
+    def test_invalid_port(self):
+        with pytest.raises(ValueError):
+            FlowMatch(src_port=-1)
+
+
+class TestQosRule:
+    def test_shape_requires_rate(self):
+        with pytest.raises(ValueError):
+            QosRule(match=FlowMatch(), action=FilterAction.SHAPE)
+
+    def test_non_shape_must_not_have_rate(self):
+        with pytest.raises(ValueError):
+            QosRule(match=FlowMatch(), action=FilterAction.DROP, shape_rate_bps=100)
+
+
+class TestPortQosPolicy:
+    def test_default_forwarding_subject_to_port_capacity(self):
+        policy = PortQosPolicy(port_capacity_bps=1e6)
+        flows = [make_flow(bytes_=10_000_000)]  # 80 Mbit in 10 s >> 1 Mbps port
+        result = policy.apply(flows, interval=10.0)
+        assert result.delivered_bits == pytest.approx(1e7)  # capacity * interval
+        assert result.congestion_dropped_bits > 0
+
+    def test_drop_rule_removes_matching_traffic(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP, src_port=123),
+                action=FilterAction.DROP,
+                rule_id="r1",
+            )
+        )
+        result = policy.apply([make_flow(), make_flow(src_port=53)], interval=10.0)
+        assert len(result.dropped) == 1
+        assert len(result.forwarded) == 1
+
+    def test_shape_rule_limits_aggregate(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP, src_port=123),
+                action=FilterAction.SHAPE,
+                shape_rate_bps=1000.0,
+                rule_id="shape",
+            )
+        )
+        flows = [make_flow(bytes_=100_000), make_flow(bytes_=100_000)]
+        result = policy.apply(flows, interval=10.0)
+        assert result.shaped_passed_bits == pytest.approx(10_000.0)
+        assert result.shaped_dropped_bits == pytest.approx(1_600_000 - 10_000)
+
+    def test_most_specific_rule_wins(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(
+            QosRule(match=FlowMatch(protocol=IpProtocol.UDP), action=FilterAction.DROP, rule_id="udp")
+        )
+        policy.install(
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP, src_port=123),
+                action=FilterAction.SHAPE,
+                shape_rate_bps=1e6,
+                rule_id="ntp",
+            )
+        )
+        result = policy.apply([make_flow()], interval=10.0)
+        assert len(result.shaped) == 1
+        assert len(result.dropped) == 0
+
+    def test_install_replaces_rule_with_same_id(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(QosRule(match=FlowMatch(src_port=1), action=FilterAction.DROP, rule_id="x"))
+        policy.install(QosRule(match=FlowMatch(src_port=2), action=FilterAction.DROP, rule_id="x"))
+        assert len(policy) == 1
+        assert policy.rules()[0].match.src_port == 2
+
+    def test_remove_rule(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(QosRule(match=FlowMatch(src_port=1), action=FilterAction.DROP, rule_id="x"))
+        assert policy.remove("x")
+        assert not policy.remove("x")
+        assert len(policy) == 0
+
+    def test_classify_returns_none_without_match(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        assert policy.classify(make_flow()) is None
+
+    def test_conservation_of_bits(self):
+        policy = PortQosPolicy(port_capacity_bps=1e9)
+        policy.install(
+            QosRule(match=FlowMatch(src_port=123), action=FilterAction.DROP, rule_id="d")
+        )
+        flows = [make_flow(), make_flow(src_port=53), make_flow(src_port=80)]
+        offered = sum(flow.bits for flow in flows)
+        result = policy.apply(flows, interval=10.0)
+        accounted = result.delivered_bits + result.total_dropped_bits
+        assert accounted == pytest.approx(offered)
+
+    def test_invalid_interval_and_capacity(self):
+        with pytest.raises(ValueError):
+            PortQosPolicy(port_capacity_bps=0)
+        with pytest.raises(ValueError):
+            PortQosPolicy(port_capacity_bps=1).apply([], 0)
+
+
+class TestIxpMember:
+    def test_defaults(self):
+        member = IxpMember(asn=64500)
+        assert member.name == "AS64500"
+        assert member.mac == default_mac(64500)
+        assert not member.honors_rtbh
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IxpMember(asn=0)
+        with pytest.raises(ValueError):
+            IxpMember(asn=1, port_capacity_bps=0)
+
+    def test_default_mac_is_deterministic_and_unique(self):
+        assert default_mac(64500) == default_mac(64500)
+        assert default_mac(64500) != default_mac(64501)
+        with pytest.raises(ValueError):
+            default_mac(-1)
+
+
+class TestMemberPort:
+    def test_deliver_updates_counters_and_history(self):
+        port = MemberPort(member=IxpMember(asn=64500, port_capacity_bps=1e9), port_id=1)
+        result = port.deliver([make_flow(bytes_=1000)], interval=10.0, interval_start=5.0)
+        assert port.counters.offered_bits == 8000
+        assert port.counters.delivered_bits == result.delivered_bits
+        assert port.history[0][0] == 5.0
+
+    def test_rule_management_delegation(self):
+        port = MemberPort(member=IxpMember(asn=64500), port_id=1)
+        port.install_rule(QosRule(match=FlowMatch(src_port=1), action=FilterAction.DROP, rule_id="a"))
+        assert len(port.rules()) == 1
+        assert port.remove_rule("a")
+
+    def test_utilisation(self):
+        port = MemberPort(member=IxpMember(asn=64500, port_capacity_bps=1e6), port_id=1)
+        result = port.deliver([make_flow(bytes_=10_000_000)], interval=10.0)
+        assert port.utilisation(result, 10.0) == pytest.approx(1.0)
+
+    def test_total_filtered_bits_counter(self):
+        member = IxpMember(asn=64500, port_capacity_bps=1e9)
+        port = MemberPort(member=member, port_id=1)
+        port.install_rule(
+            QosRule(match=FlowMatch(src_port=123), action=FilterAction.DROP, rule_id="d")
+        )
+        port.deliver([make_flow(bytes_=1000)], interval=10.0)
+        assert port.counters.total_filtered_bits == 8000
+
+
+class TestControlPlaneCpuModel:
+    def test_linear_expected_usage(self):
+        model = ControlPlaneCpuModel(base_percent=1.0, percent_per_update=2.0, noise_std=0.0)
+        assert model.expected_usage(0) == 1.0
+        assert model.expected_usage(3) == 7.0
+
+    def test_max_update_rate_matches_paper_default(self):
+        model = ControlPlaneCpuModel()
+        assert model.max_update_rate() == pytest.approx(4.33, abs=0.05)
+
+    def test_within_budget(self):
+        model = ControlPlaneCpuModel(base_percent=1.0, percent_per_update=2.0, noise_std=0.0)
+        assert model.within_budget(5)
+        assert not model.within_budget(10)
+
+    def test_measurements_are_clipped_and_noisy(self):
+        model = ControlPlaneCpuModel(seed=1)
+        values = [model.measure_usage(3.0) for _ in range(100)]
+        assert all(0 <= value <= 100 for value in values)
+        assert len(set(values)) > 1
+
+    def test_measure_series_shape(self):
+        model = ControlPlaneCpuModel(seed=1)
+        observations = model.measure_series([1.0, 2.0], samples_per_rate=5)
+        assert len(observations) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlPlaneCpuModel(base_percent=-1)
+        with pytest.raises(ValueError):
+            ControlPlaneCpuModel(cpu_limit_percent=0)
+        with pytest.raises(ValueError):
+            ControlPlaneCpuModel().expected_usage(-1)
+        with pytest.raises(ValueError):
+            ControlPlaneCpuModel().measure_series([1.0], samples_per_rate=0)
+
+    def test_budget_below_base_gives_zero_rate(self):
+        model = ControlPlaneCpuModel(base_percent=5.0, percent_per_update=1.0)
+        assert model.max_update_rate(cpu_limit_percent=4.0) == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the simulation substrate: clock, events, engine."""
+
+import pytest
+
+from repro.sim import Event, EventLog, SimulationClock, SimulationEngine
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            SimulationClock().advance(-0.1)
+
+    def test_advance_to_absolute_time(self):
+        clock = SimulationClock(1.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_reset(self):
+        clock = SimulationClock(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationClock().reset(-5)
+
+
+class TestEvent:
+    def test_events_order_by_time(self):
+        early = Event(time=1.0)
+        late = Event(time=2.0)
+        assert early < late
+
+    def test_same_time_orders_by_priority_then_sequence(self):
+        first = Event(time=1.0, priority=0)
+        second = Event(time=1.0, priority=1)
+        assert first < second
+
+    def test_cancelled_event_does_not_fire(self):
+        calls = []
+        event = Event(time=0.0, callback=lambda: calls.append(1))
+        event.cancel()
+        event.fire()
+        assert calls == []
+
+    def test_fire_invokes_callback_with_args(self):
+        calls = []
+        event = Event(
+            time=0.0, callback=lambda a, b=0: calls.append((a, b)), args=(1,), kwargs={"b": 2}
+        )
+        event.fire()
+        assert calls == [(1, 2)]
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(1.0, "attack_start", rate=100)
+        log.record(2.0, "rule_installed")
+        assert len(log) == 2
+        assert len(log.entries("attack_start")) == 1
+        assert log.times("rule_installed") == [2.0]
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(0.0, "x")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestSimulationEngine:
+    def test_schedule_and_run(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        fired = engine.run()
+        assert fired == 2
+        assert order == ["a", "b"]
+        assert engine.clock.now == 2.0
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_rejects_past_time(self):
+        engine = SimulationEngine(SimulationClock(5.0))
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.clock.now == 5.0
+        assert engine.pending == 1
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule(i + 1.0, lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 2
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_step_returns_none_when_empty(self):
+        assert SimulationEngine().step() is None
+
+    def test_peek_time_skips_cancelled(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(3.0, lambda: None)
+        event.cancel()
+        assert engine.peek_time() == 3.0
+
+    def test_events_scheduled_during_run_are_processed(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def reschedule():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, reschedule)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.clock.now == 2.0

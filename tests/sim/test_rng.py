@@ -1,0 +1,91 @@
+"""Tests for deterministic random-number helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    exponential_interarrivals,
+    make_rng,
+    pareto_bytes,
+    spawn,
+    weighted_choice,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().random() == make_rng().random()
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(make_rng(1), 5)
+        assert len(children) == 5
+
+    def test_spawned_streams_are_independent_and_deterministic(self):
+        first = [rng.random() for rng in spawn(make_rng(7), 3)]
+        second = [rng.random() for rng in spawn(make_rng(7), 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(1), -1)
+
+
+class TestWeightedChoice:
+    def test_single_positive_weight_always_wins(self):
+        rng = make_rng(3)
+        for _ in range(20):
+            assert weighted_choice(rng, ["a", "b"], [0.0, 1.0]) == "b"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [0.5, 0.5])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a", "b"], [-1.0, 1.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a", "b"], [0.0, 0.0])
+
+
+class TestParetoBytes:
+    def test_mean_approximates_target(self):
+        draws = pareto_bytes(make_rng(11), mean_bytes=1000.0, size=200_000)
+        assert draws.mean() == pytest.approx(1000.0, rel=0.1)
+
+    def test_all_draws_positive(self):
+        assert (pareto_bytes(make_rng(5), 500.0, size=1000) > 0).all()
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_bytes(make_rng(1), 0.0)
+
+    def test_shape_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            pareto_bytes(make_rng(1), 100.0, shape=1.0)
+
+
+class TestExponentialInterarrivals:
+    def test_mean_matches_rate(self):
+        draws = exponential_interarrivals(make_rng(2), rate_per_second=5.0, size=100_000)
+        assert draws.mean() == pytest.approx(0.2, rel=0.05)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_interarrivals(make_rng(1), 0.0, 10)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_size_respected(self, size):
+        assert exponential_interarrivals(make_rng(1), 1.0, size).shape == (size,)

@@ -1,0 +1,335 @@
+"""Tests for amplification vectors, attack models, traces and IPFIX."""
+
+import pytest
+
+from repro.traffic import (
+    AMPLIFICATION_PRONE_PORTS,
+    AmplificationAttack,
+    BenignTrafficSource,
+    BooterAttack,
+    IpProtocol,
+    IpfixCollector,
+    IpfixExporter,
+    IxpTraceGenerator,
+    MemberAttackScenarioGenerator,
+    RtbhEvent,
+    TrafficTrace,
+    get_vector,
+    vector_for_port,
+)
+
+
+class TestAmplificationCatalogue:
+    def test_known_vectors_present(self):
+        for name in ("ntp", "dns", "memcached", "ldap", "chargen"):
+            vector = get_vector(name)
+            assert vector.amplification_factor > 1 or name == "fragments"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_vector("NTP").source_port == 123
+
+    def test_unknown_vector_raises(self):
+        with pytest.raises(KeyError):
+            get_vector("quic-flood")
+
+    def test_vector_for_port(self):
+        assert vector_for_port(11211).name == "memcached"
+        assert vector_for_port(4444) is None
+
+    def test_memcached_has_largest_factor(self):
+        factors = {name: get_vector(name).amplification_factor for name in ("ntp", "dns", "memcached")}
+        assert factors["memcached"] == max(factors.values())
+
+    def test_response_bytes(self):
+        vector = get_vector("ntp")
+        assert vector.response_bytes == int(round(vector.request_bytes * vector.amplification_factor))
+
+    def test_prone_ports_match_paper(self):
+        assert AMPLIFICATION_PRONE_PORTS == (0, 123, 389, 11211, 53, 19)
+
+
+class TestAmplificationAttack:
+    def _attack(self, **kwargs):
+        defaults = dict(
+            victim_ip="100.10.10.10",
+            vector=get_vector("ntp"),
+            peak_rate_bps=1e9,
+            start=100.0,
+            duration=600.0,
+            ingress_member_asns=[65001, 65002, 65003],
+            victim_member_asn=64500,
+            reflector_count=30,
+            ramp_seconds=20.0,
+            seed=1,
+        )
+        defaults.update(kwargs)
+        return AmplificationAttack(**defaults)
+
+    def test_rate_outside_window_is_zero(self):
+        attack = self._attack()
+        assert attack.rate_at(50.0) == 0.0
+        assert attack.rate_at(800.0) == 0.0
+
+    def test_rate_ramps_up(self):
+        attack = self._attack()
+        assert attack.rate_at(105.0) < attack.rate_at(130.0)
+        assert attack.rate_at(130.0) == pytest.approx(1e9)
+
+    def test_flows_total_volume_matches_rate(self):
+        attack = self._attack(ramp_seconds=0.0)
+        flows = attack.flows(200.0, 10.0)
+        total_bits = sum(flow.bits for flow in flows)
+        assert total_bits == pytest.approx(1e9 * 10.0, rel=0.05)
+
+    def test_flows_use_vector_source_port(self):
+        attack = self._attack()
+        for flow in attack.flows(200.0, 10.0):
+            assert flow.src_port == 123
+            assert flow.protocol is IpProtocol.UDP
+            assert flow.is_attack
+            assert flow.egress_member_asn == 64500
+
+    def test_flows_outside_window_empty(self):
+        assert self._attack().flows(0.0, 10.0) == []
+        assert self._attack().flows(800.0, 10.0) == []
+
+    def test_flows_are_deterministic_per_seed(self):
+        a = self._attack(seed=5).flows(200.0, 10.0)
+        b = self._attack(seed=5).flows(200.0, 10.0)
+        assert [f.bytes for f in a] == [f.bytes for f in b]
+
+    def test_ingress_members_subset(self):
+        attack = self._attack()
+        peers = {flow.ingress_member_asn for flow in attack.flows(200.0, 10.0)}
+        assert peers <= {65001, 65002, 65003}
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            self._attack(peak_rate_bps=0)
+        with pytest.raises(ValueError):
+            self._attack(duration=0)
+        with pytest.raises(ValueError):
+            self._attack(ingress_member_asns=[])
+        with pytest.raises(ValueError):
+            self._attack(reflector_count=0)
+
+    def test_from_vector_name(self):
+        attack = AmplificationAttack.from_vector_name(
+            "dns",
+            victim_ip="1.2.3.4",
+            peak_rate_bps=1e8,
+            start=0,
+            duration=10,
+            ingress_member_asns=[1],
+            victim_member_asn=2,
+        )
+        assert attack.vector.source_port == 53
+
+
+class TestBooterAttack:
+    def test_peer_spread(self):
+        booter = BooterAttack(
+            victim_ip="100.10.10.10",
+            victim_member_asn=64500,
+            peer_member_asns=[65000 + i for i in range(40)],
+            start=100,
+            duration=600,
+            seed=3,
+        )
+        flows = booter.flows(300.0, 10.0)
+        peers = {flow.ingress_member_asn for flow in flows}
+        assert len(peers) >= 35
+
+    def test_requires_peers(self):
+        with pytest.raises(ValueError):
+            BooterAttack(victim_ip="1.2.3.4", victim_member_asn=1, peer_member_asns=[])
+
+    def test_is_active_and_end(self):
+        booter = BooterAttack(
+            victim_ip="1.2.3.4", victim_member_asn=1, peer_member_asns=[2], start=100, duration=100
+        )
+        assert booter.end == 200
+        assert booter.is_active(150)
+        assert not booter.is_active(250)
+
+
+class TestBenignTrafficSource:
+    def test_rate_matches_target(self):
+        source = BenignTrafficSource(
+            dst_ip="100.10.10.10",
+            egress_member_asn=64500,
+            ingress_member_asns=[65001, 65002],
+            rate_bps=1e8,
+            seed=1,
+        )
+        flows = source.flows(0.0, 10.0)
+        assert sum(flow.bits for flow in flows) == pytest.approx(1e9, rel=0.05)
+        assert all(not flow.is_attack for flow in flows)
+
+    def test_zero_rate_produces_no_flows(self):
+        source = BenignTrafficSource(
+            dst_ip="1.2.3.4", egress_member_asn=1, ingress_member_asns=[2], rate_bps=0.0
+        )
+        assert source.flows(0.0, 10.0) == []
+
+    def test_web_ports_dominate(self):
+        source = BenignTrafficSource(
+            dst_ip="100.10.10.10",
+            egress_member_asn=64500,
+            ingress_member_asns=[65001],
+            rate_bps=1e9,
+            client_count=200,
+            seed=2,
+        )
+        trace = TrafficTrace(source.flows(0.0, 60.0))
+        shares = trace.share_by_service_port()
+        web_share = shares.get(443, 0) + shares.get(80, 0) + shares.get(8080, 0)
+        assert web_share > 0.6
+
+
+class TestTrafficTrace:
+    def _trace(self):
+        from .test_flows_and_profiles import make_flow
+
+        return TrafficTrace(
+            [
+                make_flow(src_port=11211, bytes_=8000, is_attack=True, start=0),
+                make_flow(src_port=50000, dst_port=443, protocol=IpProtocol.TCP, bytes_=2000, start=0),
+                make_flow(src_port=50001, dst_port=80, protocol=IpProtocol.TCP, bytes_=1000, start=30),
+            ]
+        )
+
+    def test_totals_and_bounds(self):
+        trace = self._trace()
+        assert trace.total_bytes == 11000
+        assert trace.start == 0.0
+        assert trace.end == 40.0
+        assert len(trace) == 3
+
+    def test_filters(self):
+        trace = self._trace()
+        assert len(trace.attack_flows()) == 1
+        assert len(trace.benign_flows()) == 2
+        assert len(trace.towards("100.10.10.10")) == 3
+        assert len(trace.towards("8.8.8.8")) == 0
+        assert len(trace.towards_member(64500)) == 3
+        assert len(trace.between(25, 50)) == 1
+
+    def test_share_by_service_port(self):
+        shares = self._trace().share_by_service_port()
+        assert shares[11211] == pytest.approx(8000 / 11000)
+        assert shares[443] == pytest.approx(2000 / 11000)
+
+    def test_share_by_service_port_top_folding(self):
+        shares = self._trace().share_by_service_port(top=1)
+        assert set(shares) == {11211, -1}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_share_by_protocol(self):
+        shares = self._trace().share_by_protocol()
+        assert shares[IpProtocol.UDP] == pytest.approx(8000 / 11000)
+
+    def test_empty_trace_shares(self):
+        assert TrafficTrace().share_by_service_port() == {}
+        assert TrafficTrace().share_by_protocol() == {}
+
+    def test_rate_timeseries(self):
+        trace = self._trace()
+        times, rates = trace.rate_timeseries(bin_seconds=10.0)
+        assert len(times) == len(rates)
+        total_from_series = sum(rate * 10.0 for rate in rates)
+        assert total_from_series == pytest.approx(trace.total_bytes * 8, rel=0.01)
+
+    def test_rate_timeseries_empty(self):
+        assert TrafficTrace().rate_timeseries(10.0) == ([], [])
+
+    def test_rate_timeseries_invalid_bin(self):
+        with pytest.raises(ValueError):
+            self._trace().rate_timeseries(0)
+
+
+class TestGenerators:
+    def test_member_attack_scenario_port_shift(self):
+        generator = MemberAttackScenarioGenerator(
+            victim_ip="100.10.10.10",
+            victim_member_asn=64500,
+            peer_member_asns=[65000 + i for i in range(10)],
+            duration=1200.0,
+            interval=60.0,
+            attack_start=600.0,
+            benign_rate_bps=1e9,
+            attack_rate_bps=20e9,
+            seed=1,
+        )
+        trace = generator.generate()
+        before = trace.between(0, 600).share_by_service_port()
+        during = trace.between(720, 1200).share_by_service_port()
+        assert before.get(11211, 0.0) == 0.0
+        assert during.get(11211, 0.0) > 0.8
+
+    def test_ixp_trace_generator_marks_blackholed_traffic(self):
+        generator = IxpTraceGenerator(
+            member_asns=[65000 + i for i in range(10)],
+            duration=600.0,
+            interval=60.0,
+            regular_rate_bps=1e9,
+            blackholed_rate_bps=5e8,
+            flows_per_interval=50,
+            seed=2,
+        )
+        generator.rtbh_events = [
+            RtbhEvent(victim_ip="104.20.1.1", victim_member_asn=65001, start=0, duration=600, rate_bps=5e8)
+        ]
+        trace = generator.generate()
+        attack = trace.attack_flows()
+        assert len(attack) > 0
+        assert attack.share_by_protocol()[IpProtocol.UDP] > 0.95
+        assert all(flow.dst_ip == "104.20.1.1" for flow in attack)
+
+    def test_ixp_trace_generator_validation(self):
+        with pytest.raises(ValueError):
+            IxpTraceGenerator(member_asns=[1], duration=10, interval=1)
+
+    def test_default_events_are_within_duration(self):
+        generator = IxpTraceGenerator(
+            member_asns=[65000, 65001], duration=1000.0, interval=100.0, seed=3
+        )
+        events = generator.default_events(5)
+        assert len(events) == 5
+        assert all(0 <= event.start < 1000.0 for event in events)
+
+
+class TestIpfix:
+    def test_exporter_without_sampling_exports_everything(self):
+        from .test_flows_and_profiles import make_flow
+
+        exporter = IpfixExporter(exporter_id="edge-1")
+        records = exporter.export([make_flow() for _ in range(10)], export_time=1.0)
+        assert len(records) == 10
+        assert exporter.exported_count == 10
+
+    def test_sampling_scales_bytes_back_up(self):
+        from .test_flows_and_profiles import make_flow
+
+        exporter = IpfixExporter(exporter_id="edge-1", sampling_rate=10, seed=1)
+        flows = [make_flow(bytes_=1000) for _ in range(5000)]
+        records = exporter.export(flows, export_time=0.0)
+        assert 0 < len(records) < 5000
+        total_estimate = sum(record.flow.bytes for record in records)
+        assert total_estimate == pytest.approx(5_000_000, rel=0.15)
+
+    def test_collector_aggregates_by_exporter(self):
+        from .test_flows_and_profiles import make_flow
+
+        collector = IpfixCollector()
+        for name in ("edge-1", "edge-2"):
+            exporter = IpfixExporter(exporter_id=name)
+            collector.receive(exporter.export([make_flow(bytes_=500)], export_time=0.0))
+        assert collector.exporters() == {"edge-1", "edge-2"}
+        assert collector.bytes_by_exporter()["edge-1"] == 500
+        assert len(collector.trace()) == 2
+        assert len(collector.trace("edge-1")) == 1
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(ValueError):
+            IpfixExporter(exporter_id="x", sampling_rate=0)
