@@ -1,3 +1,5 @@
+"""Shim for legacy tooling; all metadata lives in pyproject.toml."""
+
 from setuptools import setup
 
 setup()

@@ -9,15 +9,22 @@ Given a traffic trace towards a victim, these helpers compute
 * the share of traffic that a fine-grained filter (e.g. "UDP source port
   11211") would have removed without touching legitimate traffic — the
   argument §2.3 makes for Advanced Blackholing.
+
+All three analyses run columnar when handed table-backed traces (the
+output of the vectorized generators); record-backed inputs fall back to
+the equivalent per-flow loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..mitigation.base import MitigationOutcome
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable, group_sum, iter_window_masks
 from ..traffic.packet import IpProtocol
 from ..traffic.trace import TrafficTrace, service_port
 
@@ -51,6 +58,11 @@ def port_share_timeseries(
         raise ValueError("interval must be positive")
     trace_start = trace.start if start is None else start
     trace_end = trace.end if end is None else end
+    table = trace.table_or_none()
+    if table is not None:
+        return _port_share_timeseries_columnar(
+            table, interval, top_ports, trace_start, trace_end
+        )
     snapshots: List[PortShareSnapshot] = []
     t = trace_start
     while t < trace_end:
@@ -60,17 +72,37 @@ def port_share_timeseries(
             port = service_port(flow)
             key = port if port in top_ports else -1
             totals[key] = totals.get(key, 0) + flow.bytes
-        grand_total = sum(totals.values())
-        shares = (
-            {port: volume / grand_total for port, volume in totals.items()}
-            if grand_total
-            else {}
-        )
-        snapshots.append(
-            PortShareSnapshot(interval_start=t, shares=shares, total_bytes=grand_total)
-        )
+        snapshots.append(_snapshot(t, totals))
         t += interval
     return snapshots
+
+
+def _snapshot(interval_start: float, totals: Dict[int, int]) -> PortShareSnapshot:
+    grand_total = sum(totals.values())
+    shares = (
+        {port: volume / grand_total for port, volume in totals.items()}
+        if grand_total
+        else {}
+    )
+    return PortShareSnapshot(
+        interval_start=interval_start, shares=shares, total_bytes=grand_total
+    )
+
+
+def _port_share_timeseries_columnar(
+    table: FlowTable,
+    interval: float,
+    top_ports: Sequence[int],
+    trace_start: float,
+    trace_end: float,
+) -> List[PortShareSnapshot]:
+    ports = table.service_ports()
+    keys = np.where(np.isin(ports, list(top_ports)), ports, -1)
+    flow_bytes = table.bytes
+    return [
+        _snapshot(t, group_sum(keys[window], flow_bytes[window]))
+        for t, window in iter_window_masks(table, trace_start, trace_end, interval)
+    ]
 
 
 @dataclass(frozen=True)
@@ -103,27 +135,20 @@ class CollateralDamageReport:
 
 def collateral_damage(outcome: MitigationOutcome) -> CollateralDamageReport:
     """Quantify collateral damage / residual attack of a mitigation outcome."""
-    legitimate_total = 0.0
-    attack_total = 0.0
-    for flow in outcome.delivered + outcome.discarded + outcome.shaped:
-        if flow.is_attack:
-            attack_total += flow.bits
-        else:
-            legitimate_total += flow.bits
-    legitimate_discarded = sum(
-        flow.bits for flow in outcome.discarded if not flow.is_attack
-    )
-    attack_discarded = sum(flow.bits for flow in outcome.discarded if flow.is_attack)
+    discarded_attack = outcome.discarded_attack_bits
+    discarded_legit = outcome.collateral_damage_bits
+    attack_total = discarded_attack + outcome.delivered_attack_bits
+    legitimate_total = discarded_legit + outcome.delivered_legitimate_bits
     return CollateralDamageReport(
         legitimate_bits_total=legitimate_total,
         attack_bits_total=attack_total,
-        legitimate_bits_discarded=float(legitimate_discarded),
-        attack_bits_discarded=float(attack_discarded),
+        legitimate_bits_discarded=discarded_legit,
+        attack_bits_discarded=discarded_attack,
     )
 
 
 def fine_grained_filter_potential(
-    flows: Sequence[FlowRecord],
+    flows: Union[Sequence[FlowRecord], FlowTable, TrafficTrace],
     protocol: IpProtocol,
     src_port: int,
 ) -> Dict[str, float]:
@@ -134,18 +159,34 @@ def fine_grained_filter_potential(
     of the attack traffic could have been removed by more fine-grained
     filters without any collateral damage".
     """
-    attack_total = sum(flow.bits for flow in flows if flow.is_attack)
-    legit_total = sum(flow.bits for flow in flows if not flow.is_attack)
-    matched_attack = sum(
-        flow.bits
-        for flow in flows
-        if flow.is_attack and flow.protocol == protocol and flow.src_port == src_port
-    )
-    matched_legit = sum(
-        flow.bits
-        for flow in flows
-        if not flow.is_attack and flow.protocol == protocol and flow.src_port == src_port
-    )
+    table = None
+    if isinstance(flows, TrafficTrace):
+        table = flows.table_or_none()
+        if table is None:
+            flows = flows.flows
+    elif isinstance(flows, FlowTable):
+        table = flows
+    if table is not None:
+        bits = table.bits
+        attack = table.is_attack
+        matched = (table.protocol == int(protocol)) & (table.src_port == src_port)
+        attack_total = int(bits[attack].sum())
+        legit_total = int(bits[~attack].sum())
+        matched_attack = int(bits[matched & attack].sum())
+        matched_legit = int(bits[matched & ~attack].sum())
+    else:
+        attack_total = sum(flow.bits for flow in flows if flow.is_attack)
+        legit_total = sum(flow.bits for flow in flows if not flow.is_attack)
+        matched_attack = sum(
+            flow.bits
+            for flow in flows
+            if flow.is_attack and flow.protocol == protocol and flow.src_port == src_port
+        )
+        matched_legit = sum(
+            flow.bits
+            for flow in flows
+            if not flow.is_attack and flow.protocol == protocol and flow.src_port == src_port
+        )
     total = attack_total + legit_total
     return {
         "attack_removed_fraction": matched_attack / attack_total if attack_total else 0.0,

@@ -11,11 +11,23 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from functools import total_ordering
-from typing import Union
+from functools import cached_property, lru_cache, total_ordering
+from typing import Tuple, Union
 
 _IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 _IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+@lru_cache(maxsize=1 << 16)
+def _address_key(text: str) -> Tuple[int, int]:
+    """Memoised ``(version, integer value)`` of an IP address string.
+
+    Flow records carry addresses as strings and the data plane matches the
+    same addresses against prefixes over and over (one classification per
+    flow per interval), so parsing dominates without this cache.
+    """
+    address = ipaddress.ip_address(text)
+    return address.version, int(address)
 
 
 @total_ordering
@@ -68,6 +80,18 @@ class Prefix:
         """Network address as a string (without the prefix length)."""
         return str(self.network.network_address)
 
+    @cached_property
+    def int_bounds(self) -> Tuple[int, int]:
+        """``(first, last)`` address of the prefix as integers.
+
+        Cached because the data plane uses the bounds for both the scalar
+        :meth:`contains_address` check and the vectorized column matchers.
+        """
+        return (
+            int(self.network.network_address),
+            int(self.network.broadcast_address),
+        )
+
     # ------------------------------------------------------------------
     # Relations
     # ------------------------------------------------------------------
@@ -79,10 +103,11 @@ class Prefix:
 
     def contains_address(self, address: str | _IPAddress) -> bool:
         """True if the address falls inside this prefix."""
-        addr = ipaddress.ip_address(str(address))
-        if addr.version != self.version:
+        version, value = _address_key(str(address))
+        if version != self.version:
             return False
-        return addr in self.network
+        low, high = self.int_bounds
+        return low <= value <= high
 
     def is_more_specific_than(self, other: "Prefix") -> bool:
         """True if this prefix is a strict subnet of ``other``."""

@@ -27,8 +27,8 @@ from ..bgp.prefix import Prefix, parse_prefix
 from ..bgp.route_server import RouteServer
 from ..ixp.fabric import FabricIntervalReport, SwitchingFabric
 from ..ixp.member import IxpMember
-from ..ixp.qos import FilterAction
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from .change_queue import ChangeQueue
 from .community_codec import StellarCommunityCodec
 from .controller import BlackholingController
@@ -178,7 +178,7 @@ class Stellar:
 
     def deliver_traffic(
         self,
-        flows: Sequence[FlowRecord],
+        flows: "Sequence[FlowRecord] | FlowTable",
         interval: float,
         interval_start: Optional[float] = None,
     ) -> StellarIntervalReport:
@@ -198,28 +198,11 @@ class Stellar:
     def _record_telemetry(
         self, report: FabricIntervalReport, interval: float, time: float
     ) -> None:
+        # The QoS policies attribute matched/dropped/shaped bits per rule id
+        # while classifying, so telemetry folds those stats in directly
+        # instead of re-classifying every dropped/shaped flow.
         for member_asn, result in report.results_by_member.items():
-            port = self.fabric.port_for_member(member_asn)
-            matched_by_rule: Dict[str, Dict[str, float]] = {}
-            for flow in result.dropped:
-                rule = port.qos.classify(flow)
-                if rule is None:
-                    continue
-                stats = matched_by_rule.setdefault(
-                    rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
-                )
-                stats["matched"] += flow.bits
-                stats["dropped"] += flow.bits
-            for flow in result.shaped:
-                rule = port.qos.classify(flow)
-                if rule is None or rule.action is not FilterAction.SHAPE:
-                    continue
-                stats = matched_by_rule.setdefault(
-                    rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
-                )
-                stats["matched"] += flow.bits
-                stats["shaped"] += flow.bits
-            for rule_id, stats in matched_by_rule.items():
+            for rule_id, stats in result.rule_stats.items():
                 self.telemetry.record_rule_interval(
                     rule_id=rule_id,
                     member_asn=member_asn,

@@ -145,8 +145,10 @@ def run_collateral_damage_experiment(
         prefix=f"{config.victim_ip}/32",
         peer_asns=peer_asns,
     )
+    window_table = attack_window.table_or_none()
+    window_flows = window_table if window_table is not None else list(attack_window)
     outcome: MitigationOutcome = RtbhMitigation(rtbh_service).apply(
-        list(attack_window), config.interval
+        window_flows, config.interval
     )
     rtbh_report = collateral_damage(outcome)
 
@@ -154,7 +156,7 @@ def run_collateral_damage_experiment(
 
     vector = get_vector(config.vector_name)
     potential = fine_grained_filter_potential(
-        list(attack_window), protocol=IpProtocol.UDP, src_port=vector.source_port
+        window_flows, protocol=IpProtocol.UDP, src_port=vector.source_port
     )
     return CollateralDamageResult(
         config=config,

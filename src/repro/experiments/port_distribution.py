@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence
 
 from ..analysis.stats import ConfidenceInterval, WelchTestResult, mean_confidence_interval, welch_t_test
 from ..traffic.amplification import AMPLIFICATION_PRONE_PORTS
+from ..traffic.flowtable import iter_window_masks
 from ..traffic.generator import IxpTraceGenerator
 from ..traffic.packet import IpProtocol
 from ..traffic.trace import TrafficTrace
@@ -79,6 +80,17 @@ def _per_event_port_shares(
     """Per-interval share of bytes on each source port (the test samples)."""
     samples: Dict[int, List[float]] = {port: [] for port in ports}
     start, end = trace.start, trace.end
+    table = trace.table_or_none()
+    if table is not None:
+        flow_bytes = table.bytes
+        port_masks = {port: table.src_port == port for port in ports}
+        for _, window in iter_window_masks(table, start, end, interval):
+            grand_total = int(flow_bytes[window].sum())
+            if grand_total > 0:
+                for port in ports:
+                    port_bytes = int(flow_bytes[window & port_masks[port]].sum())
+                    samples[port].append(port_bytes / grand_total)
+        return samples
     t = start
     while t < end:
         window = trace.between(t, t + interval)

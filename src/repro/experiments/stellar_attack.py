@@ -21,7 +21,7 @@ from typing import Dict
 
 from ..analysis.timeseries import AttackTimeSeries
 from ..core.rules import BlackholingRule
-from ..traffic.flow import distinct_ingress_members
+from ..traffic.flowtable import FlowTable
 from ..traffic.packet import IpProtocol, WellKnownPort
 from .scenario import AttackScenario, build_attack_scenario
 
@@ -148,20 +148,20 @@ def run_stellar_attack_experiment(
             stellar.request_mitigation(rule, via="bgp")
             drop_signalled = True
 
-        flows = scenario.attack.flows(t, config.interval) + scenario.benign.flows(
-            t, config.interval
+        flows = FlowTable.concat(
+            [
+                scenario.attack.flow_table(t, config.interval),
+                scenario.benign.flow_table(t, config.interval),
+            ]
         )
         report = stellar.deliver_traffic(flows, config.interval, interval_start=t)
         result = report.fabric_report.results_by_member.get(victim_asn)
         if result is None:
             series.record(time=t, delivered_mbps=0.0, peer_count=0)
             continue
-        delivered_flows = result.forwarded + [
-            flow for flow in result.shaped if flow.bytes > 0
-        ]
         delivered_bits = result.delivered_bits
-        attack_bits = sum(flow.bits for flow in delivered_flows if flow.is_attack)
-        peers = distinct_ingress_members(delivered_flows)
+        attack_bits = result.delivered_attack_bits()
+        peers = result.delivered_peer_asns()
         series.record(
             time=t,
             delivered_mbps=delivered_bits / config.interval / 1e6,

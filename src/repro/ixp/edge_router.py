@@ -9,9 +9,10 @@ router so TCAM accounting and update-rate accounting stay consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from .control_plane import ControlPlaneCpuModel
 from .hardware_profiles import HardwareProfile, l_ixp_edge_router_profile
 from .member import IxpMember
@@ -141,7 +142,7 @@ class EdgeRouter:
     # ------------------------------------------------------------------
     def deliver(
         self,
-        flows_by_member: Dict[int, Sequence[FlowRecord]],
+        flows_by_member: Dict[int, Union[Sequence[FlowRecord], FlowTable]],
         interval: float,
         interval_start: float = 0.0,
     ) -> Dict[int, PortQosResult]:

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from ..traffic.ipfix import IpfixCollector, IpfixExporter
 from .edge_router import EdgeRouter, PortNotFoundError
 from .hardware_profiles import HardwareProfile
@@ -132,7 +135,7 @@ class SwitchingFabric:
     # ------------------------------------------------------------------
     def deliver(
         self,
-        flows: Iterable[FlowRecord],
+        flows: Union[Iterable[FlowRecord], FlowTable],
         interval: float,
         interval_start: float = 0.0,
     ) -> FabricIntervalReport:
@@ -141,15 +144,25 @@ class SwitchingFabric:
         Flows are grouped by their egress member, pushed through that
         member's port QoS policy, and the per-member results plus a
         platform-level summary are returned.  Flows whose egress member is
-        unknown are ignored (they never entered the IXP).
+        unknown are ignored (they never entered the IXP).  A columnar
+        :class:`FlowTable` input keeps the whole interval on the vectorized
+        path (group-by, QoS classification and IPFIX export).
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
-        flows = list(flows)
-        by_member: Dict[int, List[FlowRecord]] = defaultdict(list)
-        for flow in flows:
-            if flow.egress_member_asn in self._members:
-                by_member[flow.egress_member_asn].append(flow)
+        if isinstance(flows, FlowTable):
+            by_member: Dict[int, Union[List[FlowRecord], FlowTable]] = {}
+            egress = flows.egress_asn
+            for member_asn in np.unique(egress).tolist():
+                if member_asn in self._members:
+                    by_member[member_asn] = flows.select(egress == member_asn)
+        else:
+            flows = list(flows)
+            grouped: Dict[int, List[FlowRecord]] = defaultdict(list)
+            for flow in flows:
+                if flow.egress_member_asn in self._members:
+                    grouped[flow.egress_member_asn].append(flow)
+            by_member = dict(grouped)
 
         report = FabricIntervalReport(interval_start=interval_start, interval=interval)
         for member_asn, member_flows in by_member.items():
@@ -158,7 +171,10 @@ class SwitchingFabric:
                 {member_asn: member_flows}, interval, interval_start
             )[member_asn]
             report.results_by_member[member_asn] = result
-            offered = float(sum(flow.bits for flow in member_flows))
+            if isinstance(member_flows, FlowTable):
+                offered = float(member_flows.total_bits)
+            else:
+                offered = float(sum(flow.bits for flow in member_flows))
             report.offered_bits += offered
             report.delivered_bits += result.delivered_bits
             report.filtered_bits += result.dropped_bits + result.shaped_dropped_bits

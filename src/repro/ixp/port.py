@@ -9,9 +9,10 @@ blackholing users receive (forwarded vs. dropped vs. shaped volumes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from .member import IxpMember
 from .qos import PortQosPolicy, PortQosResult, QosRule
 
@@ -77,10 +78,16 @@ class MemberPort:
     # Data plane
     # ------------------------------------------------------------------
     def deliver(
-        self, flows: Sequence[FlowRecord], interval: float, interval_start: float = 0.0
+        self,
+        flows: Union[Sequence[FlowRecord], FlowTable],
+        interval: float,
+        interval_start: float = 0.0,
     ) -> PortQosResult:
         """Push one interval of egress traffic through the port."""
-        offered_bits = float(sum(flow.bits for flow in flows))
+        if isinstance(flows, FlowTable):
+            offered_bits = float(flows.total_bits)
+        else:
+            offered_bits = float(sum(flow.bits for flow in flows))
         result = self.qos.apply(flows, interval)
         self.counters.update(offered_bits, result)
         self.history.append((interval_start, result))

@@ -10,17 +10,24 @@ stream leaving the IXP towards the member into one of three actions:
 * ``FORWARD`` — the default; enqueue on the member port's egress queue,
   which is itself limited by the port capacity.
 
-The reproduction models this at flow level per observation interval.
+The reproduction models this at flow level per observation interval.  The
+policy accepts both representations of an interval's traffic: a sequence of
+:class:`FlowRecord` objects (classified flow by flow) or a columnar
+:class:`~repro.traffic.flowtable.FlowTable`, which is classified with
+vectorized column matchers — the fast path the attack experiments run on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..bgp.prefix import Prefix, parse_prefix
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable, derived_mac, ingress_peers, population_bits
 from ..traffic.packet import IpProtocol
 from .queues import RateLimiter
 
@@ -99,6 +106,37 @@ class FlowMatch:
             return False
         return True
 
+    def matches_table(self, table: FlowTable) -> np.ndarray:
+        """Vectorized :meth:`matches` over a columnar flow batch."""
+        n = len(table)
+        mask = np.ones(n, dtype=bool)
+        for prefix, column in ((self.dst_prefix, table.dst_ip), (self.src_prefix, table.src_ip)):
+            if prefix is None:
+                continue
+            if prefix.version != 4:
+                return np.zeros(n, dtype=bool)
+            low, high = prefix.int_bounds
+            mask &= (column >= low) & (column <= high)
+        if self.src_mac is not None:
+            target = self.src_mac.lower()
+            if table.src_mac is None:
+                # Generator-produced tables carry the derived-MAC convention,
+                # so a MAC match reduces to an ingress-ASN membership test.
+                unique = np.unique(table.ingress_asn)
+                matching = [asn for asn in unique.tolist() if derived_mac(asn) == target]
+                mask &= np.isin(table.ingress_asn, matching)
+            else:
+                mask &= np.fromiter(
+                    (mac.lower() == target for mac in table.src_mac), dtype=bool, count=n
+                )
+        if self.protocol is not None:
+            mask &= table.protocol == int(self.protocol)
+        if self.src_port is not None:
+            mask &= table.src_port == self.src_port
+        if self.dst_port is not None:
+            mask &= table.dst_port == self.dst_port
+        return mask
+
     @property
     def specificity(self) -> int:
         """More specific matches win when several rules match a flow."""
@@ -128,19 +166,75 @@ class QosRule:
             raise ValueError("shape_rate_bps is only valid for SHAPE rules")
 
 
-@dataclass
 class PortQosResult:
-    """Outcome of pushing one interval of traffic through a port's QoS policy."""
+    """Outcome of pushing one interval of traffic through a port's QoS policy.
 
-    forwarded: List[FlowRecord] = field(default_factory=list)
-    dropped: List[FlowRecord] = field(default_factory=list)
-    shaped: List[FlowRecord] = field(default_factory=list)
-    forwarded_bits: float = 0.0
-    dropped_bits: float = 0.0
-    shaped_passed_bits: float = 0.0
-    shaped_dropped_bits: float = 0.0
-    congestion_dropped_bits: float = 0.0
+    The per-action flow populations are available both as columnar tables
+    (``forwarded_table`` etc., when the vectorized path produced them) and
+    as lazily materialised record lists (``forwarded`` etc.), so legacy
+    consumers keep working while the hot paths stay columnar.
+    ``rule_stats`` attributes matched/dropped/shaped bits to the rule id
+    that classified them, which is what the telemetry layer reports.
+    """
 
+    def __init__(
+        self,
+        forwarded: Optional[List[FlowRecord]] = None,
+        dropped: Optional[List[FlowRecord]] = None,
+        shaped: Optional[List[FlowRecord]] = None,
+        forwarded_bits: float = 0.0,
+        dropped_bits: float = 0.0,
+        shaped_passed_bits: float = 0.0,
+        shaped_dropped_bits: float = 0.0,
+        congestion_dropped_bits: float = 0.0,
+        forwarded_table: Optional[FlowTable] = None,
+        dropped_table: Optional[FlowTable] = None,
+        shaped_table: Optional[FlowTable] = None,
+        rule_stats: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> None:
+        self._forwarded = forwarded
+        self._dropped = dropped
+        self._shaped = shaped
+        self.forwarded_table = forwarded_table
+        self.dropped_table = dropped_table
+        self.shaped_table = shaped_table
+        self.forwarded_bits = forwarded_bits
+        self.dropped_bits = dropped_bits
+        self.shaped_passed_bits = shaped_passed_bits
+        self.shaped_dropped_bits = shaped_dropped_bits
+        self.congestion_dropped_bits = congestion_dropped_bits
+        self.rule_stats: Dict[str, Dict[str, float]] = (
+            rule_stats if rule_stats is not None else {}
+        )
+
+    # ------------------------------------------------------------------
+    # Record views (lazy when columnar tables are present)
+    # ------------------------------------------------------------------
+    @property
+    def forwarded(self) -> List[FlowRecord]:
+        if self._forwarded is None:
+            self._forwarded = (
+                self.forwarded_table.to_records() if self.forwarded_table is not None else []
+            )
+        return self._forwarded
+
+    @property
+    def dropped(self) -> List[FlowRecord]:
+        if self._dropped is None:
+            self._dropped = (
+                self.dropped_table.to_records() if self.dropped_table is not None else []
+            )
+        return self._dropped
+
+    @property
+    def shaped(self) -> List[FlowRecord]:
+        if self._shaped is None:
+            self._shaped = (
+                self.shaped_table.to_records() if self.shaped_table is not None else []
+            )
+        return self._shaped
+
+    # ------------------------------------------------------------------
     @property
     def delivered_bits(self) -> float:
         """Bits actually delivered to the member (forwarded + shaped that passed)."""
@@ -149,6 +243,21 @@ class PortQosResult:
     @property
     def total_dropped_bits(self) -> float:
         return self.dropped_bits + self.shaped_dropped_bits + self.congestion_dropped_bits
+
+    # ------------------------------------------------------------------
+    # Columnar-aware summaries (used by the experiment drivers)
+    # ------------------------------------------------------------------
+    def delivered_peer_asns(self) -> set[int]:
+        """Distinct ingress members whose traffic still reaches the member."""
+        return ingress_peers(self.forwarded_table, self._forwarded) | ingress_peers(
+            self.shaped_table, self._shaped, positive_bytes=True
+        )
+
+    def delivered_attack_bits(self) -> float:
+        """Attack bits among forwarded + shaped traffic (pre-congestion)."""
+        return population_bits(
+            self.forwarded_table, self._forwarded, attack=True
+        ) + population_bits(self.shaped_table, self._shaped, attack=True)
 
 
 class PortQosPolicy:
@@ -159,11 +268,19 @@ class PortQosPolicy:
             raise ValueError("port capacity must be positive")
         self.port_capacity_bps = port_capacity_bps
         self._rules: List[QosRule] = []
+        self._sorted_rules: List[QosRule] = []
         self._shapers: Dict[str, RateLimiter] = {}
 
     # ------------------------------------------------------------------
     # Rule management
     # ------------------------------------------------------------------
+    def _resort(self) -> None:
+        # Stable sort: ties keep installation order, so the first match in
+        # sorted order equals the most specific (earliest-installed) rule.
+        self._sorted_rules = sorted(
+            self._rules, key=lambda rule: rule.match.specificity, reverse=True
+        )
+
     def install(self, rule: QosRule) -> None:
         """Install a rule (replacing any existing rule with the same id)."""
         if rule.rule_id:
@@ -173,14 +290,18 @@ class PortQosPolicy:
             self._shapers.pop(rule.rule_id, None)
         self._rules.append(rule)
         if rule.action is FilterAction.SHAPE:
-            shaper_key = rule.rule_id or f"anon-{len(self._rules)}"
+            # Anonymous shape rules share the "anon" shaper, matching how
+            # apply() groups their traffic.
+            shaper_key = rule.rule_id or "anon"
             self._shapers[shaper_key] = RateLimiter(rate_bps=rule.shape_rate_bps)
+        self._resort()
 
     def remove(self, rule_id: str) -> bool:
         """Remove the rule with the given id.  Returns True if found."""
         before = len(self._rules)
         self._rules = [rule for rule in self._rules if rule.rule_id != rule_id]
         self._shapers.pop(rule_id, None)
+        self._resort()
         return len(self._rules) != before
 
     def rules(self) -> List[QosRule]:
@@ -188,6 +309,7 @@ class PortQosPolicy:
 
     def clear(self) -> None:
         self._rules.clear()
+        self._sorted_rules.clear()
         self._shapers.clear()
 
     def __len__(self) -> int:
@@ -198,17 +320,31 @@ class PortQosPolicy:
     # ------------------------------------------------------------------
     def classify(self, flow: FlowRecord) -> QosRule | None:
         """Return the most specific matching rule, or ``None`` (forward)."""
-        matching = [rule for rule in self._rules if rule.match.matches(flow)]
-        if not matching:
-            return None
-        return max(matching, key=lambda rule: rule.match.specificity)
+        for rule in self._sorted_rules:
+            if rule.match.matches(flow):
+                return rule
+        return None
 
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> PortQosResult:
+    def apply(
+        self, flows: Union[Sequence[FlowRecord], FlowTable], interval: float
+    ) -> PortQosResult:
         """Push one observation interval of traffic through the policy."""
         if interval <= 0:
             raise ValueError("interval must be positive")
-        result = PortQosResult()
+        if isinstance(flows, FlowTable):
+            return self._apply_table(flows, interval)
+        return self._apply_records(flows, interval)
+
+    # ------------------------------------------------------------------
+    def _apply_records(self, flows: Sequence[FlowRecord], interval: float) -> PortQosResult:
+        result = PortQosResult(forwarded=[], dropped=[], shaped=[])
         shaped_by_rule: Dict[str, List[FlowRecord]] = {}
+        shaped_assignment: Dict[str, List[QosRule]] = {}
+
+        def stats_for(rule: QosRule) -> Dict[str, float]:
+            return result.rule_stats.setdefault(
+                rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
+            )
 
         for flow in flows:
             rule = self.classify(flow)
@@ -218,9 +354,13 @@ class PortQosPolicy:
             elif rule.action is FilterAction.DROP:
                 result.dropped.append(flow)
                 result.dropped_bits += flow.bits
+                stats = stats_for(rule)
+                stats["matched"] += flow.bits
+                stats["dropped"] += flow.bits
             else:  # SHAPE
                 key = rule.rule_id or "anon"
                 shaped_by_rule.setdefault(key, []).append(flow)
+                shaped_assignment.setdefault(key, []).append(rule)
 
         # Shaping queues: the flows matching one shaping rule share that
         # rule's rate limit (paper §5.2).
@@ -232,10 +372,106 @@ class PortQosPolicy:
             else:
                 passed_bits, dropped_bits = shaper.shape(offered_bits, interval)
             scale = passed_bits / offered_bits if offered_bits > 0 else 0.0
-            result.shaped.extend(flow.scaled(scale) for flow in shaped_flows)
+            for flow, rule in zip(shaped_flows, shaped_assignment[key]):
+                scaled = flow.scaled(scale)
+                result.shaped.append(scaled)
+                stats = stats_for(rule)
+                stats["matched"] += scaled.bits
+                stats["shaped"] += scaled.bits
             result.shaped_passed_bits += passed_bits
             result.shaped_dropped_bits += dropped_bits
 
+        self._apply_congestion(result, interval)
+        return result
+
+    def _apply_table(self, table: FlowTable, interval: float) -> PortQosResult:
+        n = len(table)
+        rule_stats: Dict[str, Dict[str, float]] = {}
+        if not self._sorted_rules or n == 0:
+            result = PortQosResult(
+                forwarded_table=table,
+                dropped_table=FlowTable.empty(),
+                shaped_table=FlowTable.empty(),
+                forwarded_bits=float(table.total_bits),
+                rule_stats=rule_stats,
+            )
+            self._apply_congestion(result, interval)
+            return result
+
+        # Assign each row to its most specific matching rule (rules are kept
+        # sorted by specificity, so the first rule to claim a row wins).
+        assigned = np.full(n, -1, dtype=np.int32)
+        unmatched = np.ones(n, dtype=bool)
+        for index, rule in enumerate(self._sorted_rules):
+            if not unmatched.any():
+                break
+            claimed = rule.match.matches_table(table) & unmatched
+            assigned[claimed] = index
+            unmatched &= ~claimed
+
+        bits = table.bits
+        forward_mask = assigned < 0
+        drop_mask = np.zeros(n, dtype=bool)
+        shape_groups: Dict[str, List[int]] = {}
+
+        def stats_for(rule: QosRule) -> Dict[str, float]:
+            return rule_stats.setdefault(
+                rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
+            )
+
+        for index, rule in enumerate(self._sorted_rules):
+            selected = assigned == index
+            if not selected.any():
+                continue
+            if rule.action is FilterAction.FORWARD:
+                forward_mask |= selected
+            elif rule.action is FilterAction.DROP:
+                drop_mask |= selected
+                matched_bits = float(bits[selected].sum())
+                stats = stats_for(rule)
+                stats["matched"] += matched_bits
+                stats["dropped"] += matched_bits
+            else:  # SHAPE — group rules sharing a shaper key, as in the record path.
+                shape_groups.setdefault(rule.rule_id or "anon", []).append(index)
+
+        shaped_tables: List[FlowTable] = []
+        shaped_passed = 0.0
+        shaped_dropped = 0.0
+        for key, rule_indices in shape_groups.items():
+            group_mask = np.isin(assigned, rule_indices)
+            offered_bits = float(bits[group_mask].sum())
+            shaper = self._shapers.get(key)
+            if shaper is None:
+                passed_bits, dropped_bits = offered_bits, 0.0
+            else:
+                passed_bits, dropped_bits = shaper.shape(offered_bits, interval)
+            scale = passed_bits / offered_bits if offered_bits > 0 else 0.0
+            scaled = table.select(group_mask).scaled(scale)
+            shaped_tables.append(scaled)
+            scaled_bits = scaled.bits
+            group_assigned = assigned[group_mask]
+            for index in rule_indices:
+                rule_bits = float(scaled_bits[group_assigned == index].sum())
+                stats = stats_for(self._sorted_rules[index])
+                stats["matched"] += rule_bits
+                stats["shaped"] += rule_bits
+            shaped_passed += passed_bits
+            shaped_dropped += dropped_bits
+
+        result = PortQosResult(
+            forwarded_table=table.select(forward_mask),
+            dropped_table=table.select(drop_mask),
+            shaped_table=FlowTable.concat(shaped_tables) if shaped_tables else FlowTable.empty(),
+            forwarded_bits=float(bits[forward_mask].sum()),
+            dropped_bits=float(bits[drop_mask].sum()),
+            shaped_passed_bits=shaped_passed,
+            shaped_dropped_bits=shaped_dropped,
+            rule_stats=rule_stats,
+        )
+        self._apply_congestion(result, interval)
+        return result
+
+    def _apply_congestion(self, result: PortQosResult, interval: float) -> None:
         # Egress queue: forwarded + shaped traffic shares the port capacity;
         # anything beyond it is congestion loss at the member port.
         capacity_bits = self.port_capacity_bps * interval
@@ -245,4 +481,3 @@ class PortQosPolicy:
             overload = capacity_bits / delivered if delivered > 0 else 0.0
             result.forwarded_bits *= overload
             result.shaped_passed_bits *= overload
-        return result

@@ -15,11 +15,11 @@ passed on in reduced (shaped) form.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable, ingress_peers, population_bits
 
 
 class Rating(Enum):
@@ -49,50 +49,100 @@ class Dimension(Enum):
     COSTS = "Costs"
 
 
-@dataclass
 class MitigationOutcome:
-    """Result of applying a mitigation technique to one interval of traffic."""
+    """Result of applying a mitigation technique to one interval of traffic.
 
-    delivered: List[FlowRecord] = field(default_factory=list)
-    discarded: List[FlowRecord] = field(default_factory=list)
-    shaped: List[FlowRecord] = field(default_factory=list)
+    Outcomes can be built per-record (techniques appending to the
+    ``delivered``/``discarded``/``shaped`` lists) or columnar (vectorized
+    techniques passing :class:`FlowTable` partitions).  The record lists are
+    materialised lazily from the tables, so both representations expose the
+    same API; the bit summaries use the columnar path when available.
+    """
+
+    def __init__(
+        self,
+        delivered: Optional[List[FlowRecord]] = None,
+        discarded: Optional[List[FlowRecord]] = None,
+        shaped: Optional[List[FlowRecord]] = None,
+        delivered_table: Optional[FlowTable] = None,
+        discarded_table: Optional[FlowTable] = None,
+        shaped_table: Optional[FlowTable] = None,
+    ) -> None:
+        self._delivered = delivered
+        self._discarded = discarded
+        self._shaped = shaped
+        self.delivered_table = delivered_table
+        self.discarded_table = discarded_table
+        self.shaped_table = shaped_table
+        if delivered is None and delivered_table is None:
+            self._delivered = []
+        if discarded is None and discarded_table is None:
+            self._discarded = []
+        if shaped is None and shaped_table is None:
+            self._shaped = []
+
+    # ------------------------------------------------------------------
+    # Record views (lazy when columnar tables are present)
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> List[FlowRecord]:
+        if self._delivered is None:
+            self._delivered = self.delivered_table.to_records()
+        return self._delivered
 
     @property
+    def discarded(self) -> List[FlowRecord]:
+        if self._discarded is None:
+            self._discarded = self.discarded_table.to_records()
+        return self._discarded
+
+    @property
+    def shaped(self) -> List[FlowRecord]:
+        if self._shaped is None:
+            self._shaped = self.shaped_table.to_records()
+        return self._shaped
+
+    # ------------------------------------------------------------------
+    @property
     def delivered_bits(self) -> float:
-        return float(sum(flow.bits for flow in self.delivered)) + float(
-            sum(flow.bits for flow in self.shaped)
+        return population_bits(self.delivered_table, self._delivered) + population_bits(
+            self.shaped_table, self._shaped
         )
 
     @property
     def discarded_bits(self) -> float:
-        return float(sum(flow.bits for flow in self.discarded))
+        return population_bits(self.discarded_table, self._discarded)
 
     @property
     def delivered_attack_bits(self) -> float:
         """Attack traffic that still reaches the victim (lower is better)."""
-        return float(
-            sum(flow.bits for flow in self.delivered if flow.is_attack)
-        ) + float(sum(flow.bits for flow in self.shaped if flow.is_attack))
+        return population_bits(
+            self.delivered_table, self._delivered, attack=True
+        ) + population_bits(self.shaped_table, self._shaped, attack=True)
 
     @property
     def collateral_damage_bits(self) -> float:
         """Legitimate traffic that was discarded (lower is better)."""
-        return float(sum(flow.bits for flow in self.discarded if not flow.is_attack))
+        return population_bits(self.discarded_table, self._discarded, attack=False)
+
+    @property
+    def discarded_attack_bits(self) -> float:
+        """Attack traffic that was removed (higher is better)."""
+        return population_bits(self.discarded_table, self._discarded, attack=True)
+
+    @property
+    def delivered_legitimate_bits(self) -> float:
+        """Legitimate traffic that still reaches the victim (delivered + shaped)."""
+        return population_bits(
+            self.delivered_table, self._delivered, attack=False
+        ) + population_bits(self.shaped_table, self._shaped, attack=False)
 
     @property
     def delivered_peers(self) -> set[int]:
         """Distinct ingress members whose traffic still reaches the victim."""
-        peers = {
-            flow.ingress_member_asn
-            for flow in self.delivered
-            if flow.ingress_member_asn
-        }
-        peers |= {
-            flow.ingress_member_asn
-            for flow in self.shaped
-            if flow.ingress_member_asn and flow.bytes > 0
-        }
-        return peers
+        return ingress_peers(self.delivered_table, self._delivered) | ingress_peers(
+            self.shaped_table, self._shaped, positive_bytes=True
+        )
 
 
 class MitigationTechnique(abc.ABC):
@@ -124,5 +174,9 @@ class NoMitigation(MitigationTechnique):
     name = "none"
     ratings: Dict[Dimension, Rating] = {}
 
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+    def apply(
+        self, flows: Union[Sequence[FlowRecord], FlowTable], interval: float
+    ) -> MitigationOutcome:
+        if isinstance(flows, FlowTable):
+            return MitigationOutcome(delivered_table=flows)
         return MitigationOutcome(delivered=list(flows))

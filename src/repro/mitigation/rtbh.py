@@ -31,6 +31,7 @@ from ..bgp.prefix import Prefix, parse_prefix
 from ..bgp.route_server import PolicyControl, RouteServer
 from ..sim.rng import make_rng
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
 
 
@@ -187,7 +188,11 @@ class RtbhMitigation(MitigationTechnique):
     def __init__(self, service: RtbhService) -> None:
         self.service = service
 
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+    def apply(
+        self, flows: "Sequence[FlowRecord] | FlowTable", interval: float
+    ) -> MitigationOutcome:
+        if isinstance(flows, FlowTable):
+            return self._apply_table(flows)
         outcome = MitigationOutcome()
         for flow in flows:
             event = self.service.event_for(flow.dst_ip)
@@ -196,3 +201,30 @@ class RtbhMitigation(MitigationTechnique):
             else:
                 outcome.delivered.append(flow)
         return outcome
+
+    def _apply_table(self, table: FlowTable) -> MitigationOutcome:
+        """Vectorized RTBH: per-event destination match + compliance mask."""
+        discard = np.zeros(len(table), dtype=bool)
+        unassigned = np.ones(len(table), dtype=bool)
+        # Most specific prefix wins, as in :meth:`RtbhService.event_for`
+        # (stable sort keeps announcement order among equal lengths).
+        events = sorted(
+            self.service.active_events(), key=lambda event: event.prefix.length, reverse=True
+        )
+        for event in events:
+            if event.prefix.version != 4:
+                continue
+            low, high = event.prefix.int_bounds
+            covered = unassigned & (table.dst_ip >= low) & (table.dst_ip <= high)
+            if not covered.any():
+                continue
+            unassigned &= ~covered
+            if event.honoring_members:
+                honoring = np.fromiter(
+                    event.honoring_members, dtype=np.int64, count=len(event.honoring_members)
+                )
+                discard |= covered & np.isin(table.ingress_asn, honoring)
+        return MitigationOutcome(
+            delivered_table=table.select(~discard),
+            discarded_table=table.select(discard),
+        )

@@ -16,8 +16,9 @@ from .flow import (
     total_bytes,
     total_rate_bps,
 )
+from .flowtable import FlowTable, derived_mac, ints_to_ips, ip_to_int
 from .generator import IxpTraceGenerator, MemberAttackScenarioGenerator, RtbhEvent
-from .ipfix import ExportedRecord, IpfixCollector, IpfixExporter
+from .ipfix import ExportedRecord, ExportedTable, IpfixCollector, IpfixExporter
 from .packet import ETHERNET_MTU, IpProtocol, PacketTemplate, WellKnownPort
 from .profiles import (
     TrafficProfile,
@@ -43,10 +44,15 @@ __all__ = [
     "distinct_sources",
     "total_bytes",
     "total_rate_bps",
+    "FlowTable",
+    "derived_mac",
+    "ints_to_ips",
+    "ip_to_int",
     "IxpTraceGenerator",
     "MemberAttackScenarioGenerator",
     "RtbhEvent",
     "ExportedRecord",
+    "ExportedTable",
     "IpfixCollector",
     "IpfixExporter",
     "ETHERNET_MTU",

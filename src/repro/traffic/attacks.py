@@ -11,7 +11,11 @@ Two attack abstractions feed the experiments:
   §2.4 / §5.3: a short attack of roughly 1 Gbps arriving from a few dozen
   peers, used for Fig. 3(c) and Fig. 10(c).
 
-Both are deterministic given a seed.
+Both are deterministic given a seed.  Each source offers two equivalent
+interfaces per observation interval: :meth:`flow_table` returns a columnar
+:class:`~repro.traffic.flowtable.FlowTable` built with vectorized RNG draws
+(the fast path the experiment drivers use), and :meth:`flows` returns the
+classic list of :class:`FlowRecord` objects for compatibility.
 """
 
 from __future__ import annotations
@@ -23,15 +27,19 @@ import numpy as np
 
 from ..sim.rng import make_rng
 from .amplification import AmplificationVector, get_vector
-from .flow import FiveTuple, FlowRecord
+from .flow import FlowRecord
+from .flowtable import FlowTable, ip_to_int
 from .packet import IpProtocol
+
+#: Documentation-free public /8 first octets used for synthetic sources.
+_PUBLIC_FIRST_OCTETS = np.array([23, 45, 62, 80, 93, 104, 130, 151, 178, 203])
 
 
 def _reflector_ip(rng: np.random.Generator) -> str:
     """Draw a pseudo-random public-looking reflector IP address."""
     # Avoid the 10/8, 127/8, 192.168/16 etc. ranges by sticking to a few
     # documentation-free public /8s.
-    first_octet = int(rng.choice([23, 45, 62, 80, 93, 104, 130, 151, 178, 203]))
+    first_octet = int(rng.choice(_PUBLIC_FIRST_OCTETS))
     rest = rng.integers(1, 254, size=3)
     return f"{first_octet}.{rest[0]}.{rest[1]}.{rest[2]}"
 
@@ -79,6 +87,14 @@ class AmplificationAttack:
             (_reflector_ip(self._rng), members[i % len(members)])
             for i in range(self.reflector_count)
         ]
+        # Columnar copies of the reflector population for the vectorized path.
+        self._reflector_ips = np.array(
+            [ip_to_int(ip) for ip, _ in self._reflectors], dtype=np.uint32
+        )
+        self._reflector_ingress = np.array(
+            [asn for _, asn in self._reflectors], dtype=np.int64
+        )
+        self._victim_ip_int = ip_to_int(self.victim_ip)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -100,8 +116,8 @@ class AmplificationAttack:
         return self.peak_rate_bps * _ramp_factor(time - self.start, self.ramp_seconds)
 
     # ------------------------------------------------------------------
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
-        """Flow records for one observation interval of length ``interval``.
+    def flow_table(self, interval_start: float, interval: float) -> FlowTable:
+        """Columnar flow batch for one observation interval.
 
         The interval's attack volume is split across the reflectors with a
         heavy-tailed weighting (a few reflectors send most of the traffic,
@@ -112,45 +128,43 @@ class AmplificationAttack:
         overlap_start = max(interval_start, self.start)
         overlap_end = min(interval_start + interval, self.end)
         if overlap_end <= overlap_start:
-            return []
+            return FlowTable.empty()
 
         midpoint = (overlap_start + overlap_end) / 2
         rate = self.rate_at(midpoint)
         active_seconds = overlap_end - overlap_start
         total_bytes = rate * active_seconds / 8
         if total_bytes < 1:
-            return []
+            return FlowTable.empty()
 
-        weights = self._rng.pareto(1.2, size=len(self._reflectors)) + 1.0
+        count = len(self._reflectors)
+        weights = self._rng.pareto(1.2, size=count) + 1.0
         weights = weights / weights.sum()
         response_size = max(64, self.vector.response_bytes)
 
-        flows = []
-        for (src_ip, ingress_asn), weight in zip(self._reflectors, weights):
-            flow_bytes = int(total_bytes * weight)
-            if flow_bytes <= 0:
-                continue
-            packets = max(1, flow_bytes // min(response_size, 1500))
-            flows.append(
-                FlowRecord(
-                    key=FiveTuple(
-                        src_ip=src_ip,
-                        dst_ip=self.victim_ip,
-                        protocol=self.vector.protocol,
-                        src_port=self.vector.source_port,
-                        dst_port=int(self._rng.integers(1024, 65535)),
-                    ),
-                    start=overlap_start,
-                    duration=active_seconds,
-                    bytes=flow_bytes,
-                    packets=int(packets),
-                    ingress_member_asn=ingress_asn,
-                    egress_member_asn=self.victim_member_asn,
-                    src_mac=f"02:00:00:00:{(ingress_asn >> 8) & 0xFF:02x}:{ingress_asn & 0xFF:02x}",
-                    is_attack=True,
-                )
-            )
-        return flows
+        flow_bytes = (total_bytes * weights).astype(np.int64)
+        dst_ports = self._rng.integers(1024, 65535, size=count)
+        keep = flow_bytes > 0
+        flow_bytes = flow_bytes[keep]
+        n = len(flow_bytes)
+        return FlowTable(
+            src_ip=self._reflector_ips[keep],
+            dst_ip=np.full(n, self._victim_ip_int, dtype=np.uint32),
+            protocol=np.full(n, int(self.vector.protocol), dtype=np.uint8),
+            src_port=np.full(n, self.vector.source_port, dtype=np.int32),
+            dst_port=dst_ports[keep],
+            start=np.full(n, overlap_start),
+            duration=np.full(n, active_seconds),
+            bytes=flow_bytes,
+            packets=np.maximum(1, flow_bytes // min(response_size, 1500)),
+            ingress_asn=self._reflector_ingress[keep],
+            egress_asn=np.full(n, self.victim_member_asn, dtype=np.int64),
+            is_attack=np.ones(n, dtype=bool),
+        )
+
+    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+        """Flow records for one observation interval (compatibility view)."""
+        return self.flow_table(interval_start, interval).to_records()
 
 
 @dataclass
@@ -205,6 +219,9 @@ class BooterAttack:
     def rate_at(self, time: float) -> float:
         return self._attack.rate_at(time)
 
+    def flow_table(self, interval_start: float, interval: float) -> FlowTable:
+        return self._attack.flow_table(interval_start, interval)
+
     def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
         return self._attack.flows(interval_start, interval)
 
@@ -236,45 +253,48 @@ class BenignTrafficSource:
             (_reflector_ip(self._rng), members[i % len(members)])
             for i in range(self.client_count)
         ]
+        self._client_ips = np.array(
+            [ip_to_int(ip) for ip, _ in self._clients], dtype=np.uint32
+        )
+        self._client_ingress = np.array([asn for _, asn in self._clients], dtype=np.int64)
+        self._dst_ip_int = ip_to_int(self.dst_ip)
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
-        """Flow records for one observation interval."""
+    def flow_table(self, interval_start: float, interval: float) -> FlowTable:
+        """Columnar flow batch for one observation interval."""
         from .profiles import benign_web_profile
 
         if interval <= 0:
             raise ValueError("interval must be positive")
         if self.rate_bps == 0:
-            return []
+            return FlowTable.empty()
         profile = benign_web_profile()
         total_bytes = self.rate_bps * interval / 8
-        weights = self._rng.dirichlet(np.ones(len(self._clients)) * 2.0)
+        count = len(self._clients)
+        weights = self._rng.dirichlet(np.ones(count) * 2.0)
+        flow_bytes = (total_bytes * weights).astype(np.int64)
+        protocols, service_ports = profile.sample_classes(self._rng, count)
+        # Legitimate clients talk *to* the service port; the flow's
+        # destination port carries the service, the source port is
+        # ephemeral.  (Attack traffic is the other way around.)
+        src_ports = self._rng.integers(1024, 65535, size=count)
+        keep = flow_bytes > 0
+        flow_bytes = flow_bytes[keep]
+        n = len(flow_bytes)
+        return FlowTable(
+            src_ip=self._client_ips[keep],
+            dst_ip=np.full(n, self._dst_ip_int, dtype=np.uint32),
+            protocol=protocols[keep],
+            src_port=src_ports[keep],
+            dst_port=service_ports[keep],
+            start=np.full(n, interval_start),
+            duration=np.full(n, interval),
+            bytes=flow_bytes,
+            packets=np.maximum(1, flow_bytes // 1200),
+            ingress_asn=self._client_ingress[keep],
+            egress_asn=np.full(n, self.egress_member_asn, dtype=np.int64),
+            is_attack=np.zeros(n, dtype=bool),
+        )
 
-        flows = []
-        for (src_ip, ingress_asn), weight in zip(self._clients, weights):
-            flow_bytes = int(total_bytes * weight)
-            if flow_bytes <= 0:
-                continue
-            protocol, service_port = profile.sample_class(self._rng)
-            # Legitimate clients talk *to* the service port; the flow's
-            # destination port carries the service, the source port is
-            # ephemeral.  (Attack traffic is the other way around.)
-            flows.append(
-                FlowRecord(
-                    key=FiveTuple(
-                        src_ip=src_ip,
-                        dst_ip=self.dst_ip,
-                        protocol=protocol,
-                        src_port=int(self._rng.integers(1024, 65535)),
-                        dst_port=service_port,
-                    ),
-                    start=interval_start,
-                    duration=interval,
-                    bytes=flow_bytes,
-                    packets=max(1, flow_bytes // 1200),
-                    ingress_member_asn=ingress_asn,
-                    egress_member_asn=self.egress_member_asn,
-                    src_mac=f"02:00:00:00:{(ingress_asn >> 8) & 0xFF:02x}:{ingress_asn & 0xFF:02x}",
-                    is_attack=False,
-                )
-            )
-        return flows
+    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+        """Flow records for one observation interval (compatibility view)."""
+        return self.flow_table(interval_start, interval).to_records()

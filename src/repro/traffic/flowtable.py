@@ -1,0 +1,385 @@
+"""Columnar flow storage.
+
+The per-flow :class:`~repro.traffic.flow.FlowRecord` objects are convenient
+to reason about but far too slow to generate and analyse at trace scale:
+every record costs two dataclass constructions plus per-flow RNG draws, and
+every aggregation is a Python loop.  A :class:`FlowTable` stores the same
+information as parallel NumPy column arrays, which lets the trace
+generators draw whole intervals with single vectorized RNG calls and lets
+the analysis layer compute group-bys (service port, protocol, ingress
+member) as array reductions.
+
+``FlowTable`` is the canonical data-plane representation; ``FlowRecord``
+remains the compatibility view: :meth:`FlowTable.to_records` materialises
+records on demand and :meth:`FlowTable.from_records` ingests them, so the
+two interconvert losslessly (for IPv4 traffic, which is all the paper's
+measurement study covers).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .flow import FiveTuple, FlowRecord
+from .packet import IpProtocol
+
+#: L4 ports considered "well known" when deciding a flow's service port
+#: (kept in sync with :mod:`repro.traffic.trace`).
+_WELL_KNOWN_LIMIT = 49152
+
+#: Column names of a table, in constructor order.
+COLUMNS = (
+    "src_ip",
+    "dst_ip",
+    "protocol",
+    "src_port",
+    "dst_port",
+    "start",
+    "duration",
+    "bytes",
+    "packets",
+    "ingress_asn",
+    "egress_asn",
+    "is_attack",
+)
+
+_COLUMN_DTYPES = {
+    "src_ip": np.uint32,
+    "dst_ip": np.uint32,
+    "protocol": np.uint8,
+    "src_port": np.int32,
+    "dst_port": np.int32,
+    "start": np.float64,
+    "duration": np.float64,
+    "bytes": np.int64,
+    "packets": np.int64,
+    "ingress_asn": np.int64,
+    "egress_asn": np.int64,
+    "is_attack": np.bool_,
+}
+
+
+def ip_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into its 32-bit integer value."""
+    try:
+        a, b, c, d = (int(octet) for octet in address.split("."))
+        if 0 <= a <= 255 and 0 <= b <= 255 and 0 <= c <= 255 and 0 <= d <= 255:
+            return (a << 24) | (b << 16) | (c << 8) | d
+    except ValueError:
+        pass
+    parsed = ipaddress.ip_address(address)  # raises ValueError on garbage
+    if parsed.version != 4:
+        raise ValueError(f"FlowTable stores IPv4 addresses only, got {address!r}")
+    return int(parsed)
+
+
+def ints_to_ips(values: np.ndarray) -> List[str]:
+    """Convert an array of 32-bit integers back to dotted-quad strings."""
+    return [
+        "%d.%d.%d.%d" % ((v >> 24) & 255, (v >> 16) & 255, (v >> 8) & 255, v & 255)
+        for v in np.asarray(values, dtype=np.int64).tolist()
+    ]
+
+
+def derived_mac(asn: int) -> str:
+    """The synthetic ingress-router MAC the generators use for a member ASN."""
+    return f"02:00:00:00:{(asn >> 8) & 0xFF:02x}:{asn & 0xFF:02x}"
+
+
+def group_sum(keys: np.ndarray, values: np.ndarray) -> dict:
+    """Sum ``values`` grouped by ``keys`` (both 1-D arrays) into a dict.
+
+    The shared columnar group-by used by trace aggregations and the
+    per-interval share analyses.
+    """
+    if len(keys) == 0:
+        return {}
+    unique, inverse = np.unique(keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=values)
+    return {int(key): int(total) for key, total in zip(unique.tolist(), sums.tolist())}
+
+
+def iter_window_masks(table: "FlowTable", start: float, end: float, interval: float):
+    """Yield ``(window_start, row_mask)`` per observation interval in [start, end).
+
+    A row belongs to a window when the flow overlaps it (same half-open
+    semantics as :meth:`FlowRecord.overlaps` / ``TrafficTrace.between``).
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    flow_start, flow_end = table.start, table.end
+    t = start
+    while t < end:
+        yield t, (flow_start < t + interval) & (flow_end > t)
+        t += interval
+
+
+def ingress_peers(
+    table: Optional["FlowTable"],
+    records,
+    positive_bytes: bool = False,
+) -> set:
+    """Distinct non-zero ingress member ASNs of a flow population.
+
+    ``records is None`` selects the columnar path over ``table``; otherwise
+    the record list is scanned.  ``positive_bytes`` restricts to flows that
+    still carry bytes (the convention for shaped traffic: a fully-shaped
+    flow no longer counts as a delivering peer).
+    """
+    if records is None and table is not None:
+        if not len(table):
+            return set()
+        alive = table.ingress_asn != 0
+        if positive_bytes:
+            alive &= table.bytes > 0
+        return set(np.unique(table.ingress_asn[alive]).tolist())
+    flows = records if records is not None else []
+    if positive_bytes:
+        return {
+            flow.ingress_member_asn
+            for flow in flows
+            if flow.ingress_member_asn and flow.bytes > 0
+        }
+    return {flow.ingress_member_asn for flow in flows if flow.ingress_member_asn}
+
+
+def population_bits(
+    table: Optional["FlowTable"], records, attack: Optional[bool] = None
+) -> float:
+    """Total bits of a flow population, optionally restricted by ground truth.
+
+    ``records is None`` selects the columnar path over ``table``; ``attack``
+    of True/False restricts to attack/legitimate flows.
+    """
+    if records is None and table is not None:
+        if attack is None:
+            return float(table.total_bits)
+        mask = table.is_attack if attack else ~table.is_attack
+        return float(int(table.bytes[mask].sum()) * 8)
+    flows = records if records is not None else []
+    if attack is None:
+        return float(sum(flow.bits for flow in flows))
+    return float(sum(flow.bits for flow in flows if flow.is_attack == attack))
+
+
+class FlowTable:
+    """Parallel column arrays describing one batch of flow records.
+
+    All columns have equal length; rows correspond 1:1 to
+    :class:`~repro.traffic.flow.FlowRecord` instances.  The optional
+    ``src_mac`` column (an object array of strings) is only stored when the
+    table was built from records that carry explicit MACs; when it is
+    ``None`` the MAC of each row is the generator convention
+    ``02:00:00:00:<hh>:<ll>`` derived from the ingress member ASN.
+    """
+
+    __slots__ = tuple(COLUMNS) + ("src_mac",)
+
+    def __init__(
+        self,
+        src_ip,
+        dst_ip,
+        protocol,
+        src_port,
+        dst_port,
+        start,
+        duration,
+        bytes,
+        packets,
+        ingress_asn,
+        egress_asn,
+        is_attack,
+        src_mac: Optional[np.ndarray] = None,
+    ) -> None:
+        self.src_ip = np.asarray(src_ip, dtype=np.uint32)
+        self.dst_ip = np.asarray(dst_ip, dtype=np.uint32)
+        self.protocol = np.asarray(protocol, dtype=np.uint8)
+        self.src_port = np.asarray(src_port, dtype=np.int32)
+        self.dst_port = np.asarray(dst_port, dtype=np.int32)
+        self.start = np.asarray(start, dtype=np.float64)
+        self.duration = np.asarray(duration, dtype=np.float64)
+        self.bytes = np.asarray(bytes, dtype=np.int64)
+        self.packets = np.asarray(packets, dtype=np.int64)
+        self.ingress_asn = np.asarray(ingress_asn, dtype=np.int64)
+        self.egress_asn = np.asarray(egress_asn, dtype=np.int64)
+        self.is_attack = np.asarray(is_attack, dtype=np.bool_)
+        self.src_mac = None if src_mac is None else np.asarray(src_mac, dtype=object)
+        length = len(self.src_ip)
+        for name in COLUMNS:
+            if len(getattr(self, name)) != length:
+                raise ValueError(f"column {name!r} has mismatched length")
+        if self.src_mac is not None and len(self.src_mac) != length:
+            raise ValueError("column 'src_mac' has mismatched length")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FlowTable":
+        return cls(**{name: np.empty(0, dtype=_COLUMN_DTYPES[name]) for name in COLUMNS})
+
+    @classmethod
+    def from_records(cls, records: Iterable[FlowRecord]) -> "FlowTable":
+        """Build a table from flow records (IPv4 only)."""
+        records = list(records)
+        n = len(records)
+        columns = {name: np.empty(n, dtype=_COLUMN_DTYPES[name]) for name in COLUMNS}
+        macs = np.empty(n, dtype=object)
+        for i, flow in enumerate(records):
+            key = flow.key
+            columns["src_ip"][i] = ip_to_int(key.src_ip)
+            columns["dst_ip"][i] = ip_to_int(key.dst_ip)
+            columns["protocol"][i] = int(key.protocol)
+            columns["src_port"][i] = key.src_port
+            columns["dst_port"][i] = key.dst_port
+            columns["start"][i] = flow.start
+            columns["duration"][i] = flow.duration
+            columns["bytes"][i] = flow.bytes
+            columns["packets"][i] = flow.packets
+            columns["ingress_asn"][i] = flow.ingress_member_asn
+            columns["egress_asn"][i] = flow.egress_member_asn
+            columns["is_attack"][i] = flow.is_attack
+            macs[i] = flow.src_mac
+        return cls(src_mac=macs, **columns)
+
+    @classmethod
+    def concat(cls, tables: Sequence["FlowTable"]) -> "FlowTable":
+        """Concatenate tables row-wise."""
+        tables = [table for table in tables if len(table)]
+        if not tables:
+            return cls.empty()
+        if len(tables) == 1:
+            return tables[0]
+        columns = {
+            name: np.concatenate([getattr(table, name) for table in tables])
+            for name in COLUMNS
+        }
+        macs = None
+        if any(table.src_mac is not None for table in tables):
+            macs = np.concatenate(
+                [
+                    table.src_mac
+                    if table.src_mac is not None
+                    else np.array(table.derived_macs(), dtype=object)
+                    for table in tables
+                ]
+            )
+        return cls(src_mac=macs, **columns)
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.src_ip)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self.to_records())
+
+    def select(self, mask: np.ndarray) -> "FlowTable":
+        """Row subset by boolean mask (or integer index array)."""
+        columns = {name: getattr(self, name)[mask] for name in COLUMNS}
+        macs = None if self.src_mac is None else self.src_mac[mask]
+        return FlowTable(src_mac=macs, **columns)
+
+    # ------------------------------------------------------------------
+    # Derived columns
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> np.ndarray:
+        return self.bytes * 8
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.start + self.duration
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_bytes * 8
+
+    def derived_macs(self) -> List[str]:
+        """Per-row source MACs under the generator convention."""
+        return [derived_mac(asn) for asn in self.ingress_asn.tolist()]
+
+    def service_ports(self) -> np.ndarray:
+        """Vectorized equivalent of :func:`repro.traffic.trace.service_port`."""
+        src, dst = self.src_port, self.dst_port
+        src_known = src < _WELL_KNOWN_LIMIT
+        dst_known = dst < _WELL_KNOWN_LIMIT
+        both_or_neither = np.minimum(src, dst)
+        out = np.where(
+            src_known & ~dst_known, src, np.where(dst_known & ~src_known, dst, both_or_neither)
+        )
+        return np.where((src == 0) | (dst == 0), 0, out)
+
+    def scaled(self, factor: float) -> "FlowTable":
+        """Row-wise equivalent of :meth:`FlowRecord.scaled` (traffic shaping)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        scaled_bytes = np.rint(self.bytes * factor).astype(np.int64)
+        if factor > 0:
+            scaled_packets = np.maximum(1, np.rint(self.packets * factor).astype(np.int64))
+        else:
+            scaled_packets = np.zeros(len(self), dtype=np.int64)
+        columns = {name: getattr(self, name) for name in COLUMNS}
+        columns["bytes"] = scaled_bytes
+        columns["packets"] = scaled_packets
+        return FlowTable(src_mac=self.src_mac, **columns)
+
+    # ------------------------------------------------------------------
+    # Record view
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[FlowRecord]:
+        """Materialise the compatibility :class:`FlowRecord` view."""
+        src_ips = ints_to_ips(self.src_ip)
+        dst_ips = ints_to_ips(self.dst_ip)
+        protocols = [IpProtocol(value) for value in self.protocol.tolist()]
+        macs = self.src_mac.tolist() if self.src_mac is not None else self.derived_macs()
+        return [
+            FlowRecord(
+                key=FiveTuple(
+                    src_ip=src_ips[i],
+                    dst_ip=dst_ips[i],
+                    protocol=protocols[i],
+                    src_port=src_port,
+                    dst_port=dst_port,
+                ),
+                start=start,
+                duration=duration,
+                bytes=bytes_,
+                packets=packets,
+                ingress_member_asn=ingress,
+                egress_member_asn=egress,
+                src_mac=macs[i],
+                is_attack=is_attack,
+            )
+            for i, (
+                src_port,
+                dst_port,
+                start,
+                duration,
+                bytes_,
+                packets,
+                ingress,
+                egress,
+                is_attack,
+            ) in enumerate(
+                zip(
+                    self.src_port.tolist(),
+                    self.dst_port.tolist(),
+                    self.start.tolist(),
+                    self.duration.tolist(),
+                    self.bytes.tolist(),
+                    self.packets.tolist(),
+                    self.ingress_asn.tolist(),
+                    self.egress_asn.tolist(),
+                    self.is_attack.tolist(),
+                )
+            )
+        ]

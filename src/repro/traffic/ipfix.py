@@ -8,15 +8,23 @@ the telemetry layer and the analyses then query.  The sampling model is
 simple 1-in-N byte-unbiased sampling: exported records scale their byte and
 packet counters back up by the sampling rate, which is what production
 collectors do.
+
+Exports come in two shapes: per-record :class:`ExportedRecord` objects for
+flow lists, and whole :class:`ExportedTable` batches when the data plane
+hands the exporter a columnar :class:`~repro.traffic.flowtable.FlowTable`
+— the batch keeps the columnar representation all the way into the
+collector, so high-rate observation points don't materialise per-flow
+objects just to be archived.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..sim.rng import make_rng
 from .flow import FlowRecord
+from .flowtable import FlowTable
 from .trace import TrafficTrace
 
 
@@ -28,6 +36,31 @@ class ExportedRecord:
     exporter_id: str
     export_time: float
     sampling_rate: int
+
+
+@dataclass(frozen=True)
+class ExportedTable:
+    """A columnar batch of exported flows with exporter metadata."""
+
+    table: FlowTable
+    exporter_id: str
+    export_time: float
+    sampling_rate: int
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def records(self) -> List[ExportedRecord]:
+        """Materialise the per-record view of the batch."""
+        return [
+            ExportedRecord(
+                flow=flow,
+                exporter_id=self.exporter_id,
+                export_time=self.export_time,
+                sampling_rate=self.sampling_rate,
+            )
+            for flow in self.table.to_records()
+        ]
 
 
 @dataclass
@@ -46,9 +79,11 @@ class IpfixExporter:
         self.observed_count = 0
 
     def export(
-        self, flows: Iterable[FlowRecord], export_time: float
-    ) -> List[ExportedRecord]:
-        """Sample ``flows`` and return the exported records."""
+        self, flows: Union[Iterable[FlowRecord], FlowTable], export_time: float
+    ) -> "List[ExportedRecord] | ExportedTable":
+        """Sample ``flows`` and return the exported records (or batch)."""
+        if isinstance(flows, FlowTable):
+            return self.export_table(flows, export_time)
         exported = []
         for flow in flows:
             self.observed_count += 1
@@ -66,29 +101,58 @@ class IpfixExporter:
             self.exported_count += 1
         return exported
 
+    def export_table(self, table: FlowTable, export_time: float) -> ExportedTable:
+        """Sample a columnar flow batch without materialising records."""
+        self.observed_count += len(table)
+        if self.sampling_rate > 1:
+            keep = self._rng.random(len(table)) < 1.0 / self.sampling_rate
+            table = table.select(keep).scaled(self.sampling_rate)
+        self.exported_count += len(table)
+        return ExportedTable(
+            table=table,
+            exporter_id=self.exporter_id,
+            export_time=export_time,
+            sampling_rate=self.sampling_rate,
+        )
+
 
 @dataclass
 class IpfixCollector:
-    """Aggregates exported records from all exporters."""
+    """Aggregates exported records (and columnar batches) from all exporters."""
 
     records: List[ExportedRecord] = field(default_factory=list)
+    tables: List[ExportedTable] = field(default_factory=list)
 
-    def receive(self, records: Iterable[ExportedRecord]) -> None:
+    def receive(
+        self, records: Union[Iterable[ExportedRecord], ExportedTable]
+    ) -> None:
+        if isinstance(records, ExportedTable):
+            self.tables.append(records)
+            return
         self.records.extend(records)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.records) + sum(len(batch) for batch in self.tables)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def trace(self, exporter_id: Optional[str] = None) -> TrafficTrace:
         """All collected flows as a :class:`TrafficTrace`."""
+        selected_tables = [
+            batch.table
+            for batch in self.tables
+            if exporter_id is None or batch.exporter_id == exporter_id
+        ]
         flows = [
             record.flow
             for record in self.records
             if exporter_id is None or record.exporter_id == exporter_id
         ]
+        if selected_tables and not flows:
+            return TrafficTrace(FlowTable.concat(selected_tables))
+        for table in selected_tables:
+            flows.extend(table.to_records())
         return TrafficTrace(flows)
 
     def bytes_by_exporter(self) -> Dict[str, int]:
@@ -96,7 +160,13 @@ class IpfixCollector:
         totals: Dict[str, int] = {}
         for record in self.records:
             totals[record.exporter_id] = totals.get(record.exporter_id, 0) + record.flow.bytes
+        for batch in self.tables:
+            totals[batch.exporter_id] = (
+                totals.get(batch.exporter_id, 0) + batch.table.total_bytes
+            )
         return totals
 
     def exporters(self) -> set[str]:
-        return {record.exporter_id for record in self.records}
+        return {record.exporter_id for record in self.records} | {
+            batch.exporter_id for batch in self.tables
+        }

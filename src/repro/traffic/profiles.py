@@ -14,6 +14,7 @@ paper reports for the L-IXP traces (§2.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Tuple
 
 import numpy as np
@@ -65,12 +66,28 @@ class TrafficProfile:
             share for (proto, _), share in normalised.items() if proto == protocol
         )
 
-    def sample_class(self, rng: np.random.Generator) -> TrafficClass:
-        """Draw one traffic class with probability equal to its share."""
+    @cached_property
+    def _class_arrays(self) -> Tuple[list, np.ndarray, np.ndarray, np.ndarray]:
+        """``(classes, probabilities, protocol values, port values)`` cache."""
         classes = list(self.shares)
         weights = np.array([self.shares[cls] for cls in classes], dtype=float)
-        index = rng.choice(len(classes), p=weights / weights.sum())
+        protocols = np.array([int(proto) for proto, _ in classes], dtype=np.uint8)
+        ports = np.array([port for _, port in classes], dtype=np.int32)
+        return classes, weights / weights.sum(), protocols, ports
+
+    def sample_class(self, rng: np.random.Generator) -> TrafficClass:
+        """Draw one traffic class with probability equal to its share."""
+        classes, probabilities, _, _ = self._class_arrays
+        index = rng.choice(len(classes), p=probabilities)
         return classes[index]
+
+    def sample_classes(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` classes at once; returns (protocol, src port) arrays."""
+        classes, probabilities, protocols, ports = self._class_arrays
+        indices = rng.choice(len(classes), size=size, p=probabilities)
+        return protocols[indices], ports[indices]
 
     def merged_with(self, other: "TrafficProfile", other_weight: float) -> "TrafficProfile":
         """Blend this profile with another one.

@@ -5,19 +5,36 @@ observation window, with query helpers used by the analysis layer: binning
 into time series, filtering by destination, grouping by "service port"
 (the well-known port of a flow, which is how the paper's per-port traffic
 shares are computed).
+
+Traces come in two internal representations:
+
+* **record-backed** — a plain list of :class:`FlowRecord` objects, used when
+  a trace is assembled flow by flow (tests, small examples);
+* **table-backed** — a columnar :class:`~repro.traffic.flowtable.FlowTable`,
+  produced by the vectorized generators.  Filters and aggregations on a
+  table-backed trace run as NumPy array operations instead of Python loops,
+  which is what makes production-scale traces tractable.
+
+Both representations expose the identical API; ``trace.flows`` materialises
+the record view on demand.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+
+import numpy as np
 
 from .flow import FlowRecord
+from .flowtable import (
+    _WELL_KNOWN_LIMIT,
+    FlowTable,
+    group_sum,
+    ingress_peers,
+    ip_to_int,
+)
 from .packet import IpProtocol
-
-#: L4 ports considered "well known" when deciding a flow's service port.
-_WELL_KNOWN_LIMIT = 49152
 
 
 def service_port(flow: FlowRecord) -> int:
@@ -40,25 +57,74 @@ def service_port(flow: FlowRecord) -> int:
     return min(candidates)
 
 
-@dataclass
 class TrafficTrace:
     """An ordered collection of flow records."""
 
-    flows: List[FlowRecord] = field(default_factory=list)
+    def __init__(self, flows: Union[Iterable[FlowRecord], FlowTable, None] = None) -> None:
+        if isinstance(flows, FlowTable):
+            self._table: Optional[FlowTable] = flows
+            self._records: Optional[List[FlowRecord]] = None
+        else:
+            self._table = None
+            self._records = list(flows) if flows is not None else []
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+    @property
+    def flows(self) -> List[FlowRecord]:
+        """The per-record view (materialised from the table if needed)."""
+        if self._records is None:
+            self._records = self._table.to_records() if self._table is not None else []
+        return self._records
+
+    @property
+    def table(self) -> FlowTable:
+        """The columnar view (built from the records if needed; IPv4 only)."""
+        if self._table is None:
+            self._table = FlowTable.from_records(self._records or [])
+        return self._table
+
+    def table_or_none(self) -> Optional[FlowTable]:
+        """The columnar view if this trace is table-backed, else ``None``.
+
+        Analysis code uses this to pick the vectorized path without paying
+        a per-record conversion for traces that were built record-by-record.
+        """
+        return self._table
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, flow: FlowRecord) -> None:
         self.flows.append(flow)
+        self._table = None
 
-    def extend(self, flows: Iterable[FlowRecord]) -> None:
+    def extend(self, flows: Union[Iterable[FlowRecord], FlowTable]) -> None:
+        if isinstance(flows, FlowTable):
+            self.extend_table(flows)
+            return
         self.flows.extend(flows)
+        self._table = None
+
+    def extend_table(self, table: FlowTable) -> None:
+        """Append a batch of flows, keeping the columnar backing if possible."""
+        if self._records is None and self._table is not None:
+            self._table = FlowTable.concat([self._table, table])
+            return
+        if self._table is None and not self._records:
+            self._table = table
+            self._records = None
+            return
+        self.flows.extend(table.to_records())
+        self._table = None
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        if self._table is not None and self._records is None:
+            return len(self._table)
         return len(self.flows)
 
     def __iter__(self) -> Iterator[FlowRecord]:
@@ -66,14 +132,20 @@ class TrafficTrace:
 
     @property
     def total_bytes(self) -> int:
+        if self._table is not None and self._records is None:
+            return self._table.total_bytes
         return sum(flow.bytes for flow in self.flows)
 
     @property
     def start(self) -> float:
+        if self._table is not None and self._records is None:
+            return float(self._table.start.min()) if len(self._table) else 0.0
         return min((flow.start for flow in self.flows), default=0.0)
 
     @property
     def end(self) -> float:
+        if self._table is not None and self._records is None:
+            return float(self._table.end.max()) if len(self._table) else 0.0
         return max((flow.end for flow in self.flows), default=0.0)
 
     # ------------------------------------------------------------------
@@ -83,22 +155,40 @@ class TrafficTrace:
         """A new trace with only the flows satisfying ``predicate``."""
         return TrafficTrace([flow for flow in self.flows if predicate(flow)])
 
+    def _select(self, mask: np.ndarray) -> "TrafficTrace":
+        return TrafficTrace(self._table.select(mask))
+
     def towards(self, dst_ip: str) -> "TrafficTrace":
         """Flows destined to a specific IP address."""
+        if self._table is not None:
+            try:
+                value = ip_to_int(dst_ip)
+            except ValueError:
+                return TrafficTrace([])
+            return self._select(self._table.dst_ip == value)
         return self.filter(lambda flow: flow.dst_ip == dst_ip)
 
     def towards_member(self, member_asn: int) -> "TrafficTrace":
         """Flows leaving the IXP through a specific member."""
+        if self._table is not None:
+            return self._select(self._table.egress_asn == member_asn)
         return self.filter(lambda flow: flow.egress_member_asn == member_asn)
 
     def attack_flows(self) -> "TrafficTrace":
+        if self._table is not None:
+            return self._select(self._table.is_attack)
         return self.filter(lambda flow: flow.is_attack)
 
     def benign_flows(self) -> "TrafficTrace":
+        if self._table is not None:
+            return self._select(~self._table.is_attack)
         return self.filter(lambda flow: not flow.is_attack)
 
     def between(self, start: float, end: float) -> "TrafficTrace":
         """Flows overlapping the interval [start, end)."""
+        if self._table is not None:
+            table = self._table
+            return self._select((table.start < end) & (table.end > start))
         return self.filter(lambda flow: flow.overlaps(start, end))
 
     # ------------------------------------------------------------------
@@ -106,6 +196,8 @@ class TrafficTrace:
     # ------------------------------------------------------------------
     def bytes_by_service_port(self) -> Dict[int, int]:
         """Total bytes grouped by the flows' service port."""
+        if self._table is not None:
+            return group_sum(self._table.service_ports(), self._table.bytes)
         totals: Dict[int, int] = defaultdict(int)
         for flow in self.flows:
             totals[service_port(flow)] += flow.bytes
@@ -131,6 +223,9 @@ class TrafficTrace:
 
     def bytes_by_protocol(self) -> Dict[IpProtocol, int]:
         """Total bytes grouped by IP protocol."""
+        if self._table is not None:
+            grouped = group_sum(self._table.protocol, self._table.bytes)
+            return {IpProtocol(value): total for value, total in grouped.items()}
         totals: Dict[IpProtocol, int] = defaultdict(int)
         for flow in self.flows:
             totals[flow.protocol] += flow.bytes
@@ -145,13 +240,15 @@ class TrafficTrace:
 
     def bytes_by_source_port(self) -> Dict[int, int]:
         """Total bytes grouped by raw source port (used for Fig. 3(a))."""
+        if self._table is not None:
+            return group_sum(self._table.src_port, self._table.bytes)
         totals: Dict[int, int] = defaultdict(int)
         for flow in self.flows:
             totals[flow.src_port] += flow.bytes
         return dict(totals)
 
     def distinct_ingress_members(self) -> set[int]:
-        return {flow.ingress_member_asn for flow in self.flows if flow.ingress_member_asn}
+        return ingress_peers(self._table, self._records if self._table is None else None)
 
     # ------------------------------------------------------------------
     # Time series
@@ -167,7 +264,7 @@ class TrafficTrace:
         """
         if bin_seconds <= 0:
             raise ValueError("bin_seconds must be positive")
-        if not self.flows:
+        if len(self) == 0:
             return [], []
         trace_start = self.start if start is None else start
         trace_end = self.end if end is None else end
@@ -175,16 +272,34 @@ class TrafficTrace:
             return [], []
         bin_count = int((trace_end - trace_start) / bin_seconds) + 1
         times = [trace_start + i * bin_seconds for i in range(bin_count)]
-        volumes = [0.0] * bin_count
-        for flow in self.flows:
-            duration = flow.duration if flow.duration > 0 else bin_seconds
-            rate = flow.bytes / duration
-            for i, bin_start in enumerate(times):
+        if self._table is not None:
+            table = self._table
+            flow_start, flow_duration = table.start, table.duration
+            flow_end = flow_start + flow_duration
+            zero = flow_duration == 0
+            effective_duration = np.where(zero, bin_seconds, flow_duration)
+            rates = table.bytes / effective_duration
+            volumes = []
+            for bin_start in times:
                 bin_end = bin_start + bin_seconds
-                overlap = min(flow.end, bin_end) - max(flow.start, bin_start)
-                if flow.duration == 0:
-                    overlap = bin_seconds if bin_start <= flow.start < bin_end else 0
-                if overlap > 0:
-                    volumes[i] += rate * overlap
-        rates = [volume * 8 / bin_seconds for volume in volumes]
-        return times, rates
+                overlap = np.minimum(flow_end, bin_end) - np.maximum(flow_start, bin_start)
+                overlap = np.where(
+                    zero,
+                    np.where((bin_start <= flow_start) & (flow_start < bin_end), bin_seconds, 0.0),
+                    overlap,
+                )
+                volumes.append(float((rates * np.clip(overlap, 0.0, None)).sum()))
+        else:
+            volumes = [0.0] * bin_count
+            for flow in self.flows:
+                duration = flow.duration if flow.duration > 0 else bin_seconds
+                rate = flow.bytes / duration
+                for i, bin_start in enumerate(times):
+                    bin_end = bin_start + bin_seconds
+                    overlap = min(flow.end, bin_end) - max(flow.start, bin_start)
+                    if flow.duration == 0:
+                        overlap = bin_seconds if bin_start <= flow.start < bin_end else 0
+                    if overlap > 0:
+                        volumes[i] += rate * overlap
+        rates_bps = [volume * 8 / bin_seconds for volume in volumes]
+        return times, rates_bps

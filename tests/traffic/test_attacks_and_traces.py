@@ -2,6 +2,10 @@
 
 import pytest
 
+# Absolute import: pytest puts this directory on sys.path (there are no
+# test packages), so the relative form would fail at collection time.
+from test_flows_and_profiles import make_flow
+
 from repro.traffic import (
     AMPLIFICATION_PRONE_PORTS,
     AmplificationAttack,
@@ -189,8 +193,6 @@ class TestBenignTrafficSource:
 
 class TestTrafficTrace:
     def _trace(self):
-        from .test_flows_and_profiles import make_flow
-
         return TrafficTrace(
             [
                 make_flow(src_port=11211, bytes_=8000, is_attack=True, start=0),
@@ -301,16 +303,12 @@ class TestGenerators:
 
 class TestIpfix:
     def test_exporter_without_sampling_exports_everything(self):
-        from .test_flows_and_profiles import make_flow
-
         exporter = IpfixExporter(exporter_id="edge-1")
         records = exporter.export([make_flow() for _ in range(10)], export_time=1.0)
         assert len(records) == 10
         assert exporter.exported_count == 10
 
     def test_sampling_scales_bytes_back_up(self):
-        from .test_flows_and_profiles import make_flow
-
         exporter = IpfixExporter(exporter_id="edge-1", sampling_rate=10, seed=1)
         flows = [make_flow(bytes_=1000) for _ in range(5000)]
         records = exporter.export(flows, export_time=0.0)
@@ -319,8 +317,6 @@ class TestIpfix:
         assert total_estimate == pytest.approx(5_000_000, rel=0.15)
 
     def test_collector_aggregates_by_exporter(self):
-        from .test_flows_and_profiles import make_flow
-
         collector = IpfixCollector()
         for name in ("edge-1", "edge-2"):
             exporter = IpfixExporter(exporter_id=name)

@@ -1,0 +1,362 @@
+"""Tests for the columnar FlowTable and the vectorized generation path.
+
+Two families of guarantees:
+
+* **round-trip** — ``FlowTable`` ↔ ``FlowRecord`` conversion is lossless,
+  and the columnar aggregations match the per-record implementations on the
+  same flows;
+* **statistical parity** — the vectorized generators preserve the
+  paper-reported traffic structure the original per-flow generators
+  targeted (§2.3): TCP ≈ 87 % of regular traffic, amplification-prone
+  source ports dominating blackholed traffic, and per-interval total-bytes
+  conservation against the configured rates.
+"""
+
+import numpy as np
+import pytest
+
+from test_flows_and_profiles import make_flow
+
+from repro.ixp import FilterAction, FlowMatch, PortQosPolicy, QosRule
+from repro.traffic import (
+    AMPLIFICATION_PRONE_PORTS,
+    AmplificationAttack,
+    BenignTrafficSource,
+    FlowTable,
+    IpProtocol,
+    IxpTraceGenerator,
+    MemberAttackScenarioGenerator,
+    RtbhEvent,
+    TrafficTrace,
+    get_vector,
+    ip_to_int,
+    ints_to_ips,
+    service_port,
+)
+
+
+class TestIpConversion:
+    def test_round_trip(self):
+        for address in ("0.0.0.0", "23.1.2.3", "100.64.0.1", "255.255.255.255"):
+            assert ints_to_ips(np.array([ip_to_int(address)]))[0] == address
+
+    def test_rejects_ipv6(self):
+        with pytest.raises(ValueError):
+            ip_to_int("2001:db8::1")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ip_to_int("not-an-ip")
+
+
+class TestRoundTrip:
+    def _records(self):
+        return [
+            make_flow(src_port=11211, bytes_=8000, is_attack=True, start=0),
+            make_flow(src_port=50000, dst_port=443, protocol=IpProtocol.TCP, bytes_=2000),
+            make_flow(src_port=0, dst_port=4000, bytes_=500, ingress=65002),
+        ]
+
+    def test_records_to_table_to_records_is_lossless(self):
+        records = self._records()
+        assert FlowTable.from_records(records).to_records() == records
+
+    def test_generator_table_and_record_views_agree(self):
+        attack = AmplificationAttack(
+            victim_ip="100.10.10.10",
+            vector=get_vector("ntp"),
+            peak_rate_bps=1e9,
+            start=0.0,
+            duration=600.0,
+            ingress_member_asns=[65001, 65002, 65003],
+            victim_member_asn=64500,
+            reflector_count=40,
+            seed=7,
+        )
+        table = attack.flow_table(100.0, 10.0)
+        twin = AmplificationAttack(
+            victim_ip="100.10.10.10",
+            vector=get_vector("ntp"),
+            peak_rate_bps=1e9,
+            start=0.0,
+            duration=600.0,
+            ingress_member_asns=[65001, 65002, 65003],
+            victim_member_asn=64500,
+            reflector_count=40,
+            seed=7,
+        )
+        records = twin.flows(100.0, 10.0)
+        assert table.to_records() == records
+
+    def test_select_and_concat(self):
+        table = FlowTable.from_records(self._records())
+        attack = table.select(table.is_attack)
+        benign = table.select(~table.is_attack)
+        assert len(attack) == 1 and len(benign) == 2
+        rebuilt = FlowTable.concat([attack, benign])
+        assert rebuilt.total_bytes == table.total_bytes
+        assert len(rebuilt) == len(table)
+
+    def test_service_ports_match_scalar_helper(self):
+        records = [
+            make_flow(src_port=11211, dst_port=43210),
+            make_flow(src_port=51000, dst_port=443, protocol=IpProtocol.TCP),
+            make_flow(src_port=0, dst_port=4000),
+            make_flow(src_port=50001, dst_port=60001),
+        ]
+        table = FlowTable.from_records(records)
+        expected = [service_port(flow) for flow in records]
+        assert table.service_ports().tolist() == expected
+
+    def test_scaled_matches_record_scaling(self):
+        records = [make_flow(bytes_=1001), make_flow(bytes_=4)]
+        table = FlowTable.from_records(records).scaled(0.5)
+        expected = [flow.scaled(0.5) for flow in records]
+        assert table.bytes.tolist() == [flow.bytes for flow in expected]
+        assert table.packets.tolist() == [flow.packets for flow in expected]
+        zeroed = FlowTable.from_records(records).scaled(0.0)
+        assert zeroed.bytes.tolist() == [0, 0]
+        assert zeroed.packets.tolist() == [0, 0]
+
+
+class TestTraceBackends:
+    """Table-backed and record-backed traces must agree on every aggregation."""
+
+    def _both(self):
+        generator = IxpTraceGenerator(
+            member_asns=[65000 + i for i in range(10)],
+            duration=600.0,
+            interval=60.0,
+            regular_rate_bps=1e9,
+            blackholed_rate_bps=5e8,
+            flows_per_interval=50,
+            seed=9,
+        )
+        generator.rtbh_events = [
+            RtbhEvent(
+                victim_ip="104.20.1.1",
+                victim_member_asn=65001,
+                start=0,
+                duration=600,
+                rate_bps=5e8,
+            )
+        ]
+        columnar = generator.generate()
+        assert columnar.table_or_none() is not None
+        record_backed = TrafficTrace(list(columnar.flows))
+        assert record_backed.table_or_none() is None
+        return columnar, record_backed
+
+    def test_aggregations_agree(self):
+        columnar, record_backed = self._both()
+        assert columnar.total_bytes == record_backed.total_bytes
+        assert columnar.bytes_by_service_port() == record_backed.bytes_by_service_port()
+        assert columnar.bytes_by_source_port() == record_backed.bytes_by_source_port()
+        assert columnar.bytes_by_protocol() == record_backed.bytes_by_protocol()
+        assert (
+            columnar.distinct_ingress_members() == record_backed.distinct_ingress_members()
+        )
+
+    def test_filters_agree(self):
+        columnar, record_backed = self._both()
+        assert len(columnar.attack_flows()) == len(record_backed.attack_flows())
+        assert len(columnar.towards("104.20.1.1")) == len(record_backed.towards("104.20.1.1"))
+        assert len(columnar.towards_member(65001)) == len(
+            record_backed.towards_member(65001)
+        )
+        assert len(columnar.between(60, 180)) == len(record_backed.between(60, 180))
+
+    def test_rate_timeseries_agree(self):
+        columnar, record_backed = self._both()
+        times_a, rates_a = columnar.rate_timeseries(30.0)
+        times_b, rates_b = record_backed.rate_timeseries(30.0)
+        assert times_a == times_b
+        assert rates_a == pytest.approx(rates_b)
+
+
+class TestStatisticalParity:
+    """The vectorized generators keep the §2.3 traffic structure."""
+
+    def test_regular_traffic_is_tcp_dominated(self):
+        generator = IxpTraceGenerator(
+            member_asns=[65000 + i for i in range(20)],
+            duration=1800.0,
+            interval=60.0,
+            regular_rate_bps=10e9,
+            flows_per_interval=400,
+            seed=3,
+        )
+        shares = generator.generate().benign_flows().share_by_protocol()
+        # The paper reports TCP-dominated non-blackholed traffic (≈ 87 %);
+        # the generated byte share must match the configured profile mass.
+        from repro.traffic import other_traffic_profile
+
+        expected = other_traffic_profile().share_of_protocol(IpProtocol.TCP)
+        assert shares[IpProtocol.TCP] == pytest.approx(expected, abs=0.02)
+        assert shares[IpProtocol.TCP] > 0.75
+
+    def test_blackholed_traffic_source_port_dominance(self):
+        generator = IxpTraceGenerator(
+            member_asns=[65000 + i for i in range(10)],
+            duration=1800.0,
+            interval=60.0,
+            regular_rate_bps=1e9,
+            blackholed_rate_bps=1e9,
+            flows_per_interval=200,
+            seed=5,
+        )
+        generator.rtbh_events = [
+            RtbhEvent(
+                victim_ip="104.20.9.9",
+                victim_member_asn=65003,
+                start=0,
+                duration=1800,
+                rate_bps=1e9,
+            )
+        ]
+        attack = generator.generate().attack_flows()
+        shares = attack.share_by_protocol()
+        assert shares[IpProtocol.UDP] > 0.98
+        by_port = attack.bytes_by_source_port()
+        total = sum(by_port.values())
+        prone_share = sum(by_port.get(port, 0) for port in AMPLIFICATION_PRONE_PORTS) / total
+        # Ports 0/123/389/11211/53/19 carry the bulk of blackholed bytes
+        # (≈ 88 % of the profile mass).
+        assert prone_share > 0.8
+
+    def test_interval_bytes_conservation(self):
+        rate = 2e9
+        interval = 60.0
+        generator = IxpTraceGenerator(
+            member_asns=[65000, 65001, 65002],
+            duration=600.0,
+            interval=interval,
+            regular_rate_bps=rate,
+            flows_per_interval=300,
+            seed=11,
+        )
+        trace = generator.generate()
+        expected = rate * interval / 8
+        for i in range(int(600.0 / interval)):
+            window = trace.between(i * interval, (i + 1) * interval)
+            # int() truncation loses at most one byte per flow.
+            assert window.total_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_amplification_source_port_dominates_member_scenario(self):
+        generator = MemberAttackScenarioGenerator(
+            victim_ip="100.10.10.10",
+            victim_member_asn=64500,
+            peer_member_asns=[65000 + i for i in range(10)],
+            duration=1200.0,
+            interval=60.0,
+            attack_start=600.0,
+            benign_rate_bps=1e9,
+            attack_rate_bps=20e9,
+            seed=1,
+        )
+        trace = generator.generate()
+        during = trace.between(720, 1200).share_by_service_port()
+        assert during.get(11211, 0.0) > 0.8
+
+    def test_benign_source_volume_conservation(self):
+        source = BenignTrafficSource(
+            dst_ip="100.10.10.10",
+            egress_member_asn=64500,
+            ingress_member_asns=[65001, 65002],
+            rate_bps=1e9,
+            seed=4,
+        )
+        table = source.flow_table(0.0, 10.0)
+        assert table.total_bits == pytest.approx(1e10, rel=0.05)
+
+
+class TestColumnarQosParity:
+    """The vectorized QoS path must agree with the per-record path."""
+
+    def _policy(self):
+        policy = PortQosPolicy(port_capacity_bps=10e9)
+        policy.install(
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP, src_port=123),
+                action=FilterAction.DROP,
+                rule_id="drop-ntp",
+            )
+        )
+        policy.install(
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP),
+                action=FilterAction.SHAPE,
+                shape_rate_bps=1e6,
+                rule_id="shape-udp",
+            )
+        )
+        return policy
+
+    def _flows(self):
+        attack = AmplificationAttack(
+            victim_ip="100.10.10.10",
+            vector=get_vector("ntp"),
+            peak_rate_bps=1e9,
+            start=0.0,
+            duration=600.0,
+            ingress_member_asns=[65001, 65002],
+            victim_member_asn=64500,
+            reflector_count=50,
+            seed=2,
+        )
+        benign = BenignTrafficSource(
+            dst_ip="100.10.10.10",
+            egress_member_asn=64500,
+            ingress_member_asns=[65001, 65002],
+            rate_bps=5e8,
+            seed=3,
+        )
+        return FlowTable.concat(
+            [attack.flow_table(100.0, 10.0), benign.flow_table(100.0, 10.0)]
+        )
+
+    def test_bit_accounting_matches(self):
+        table = self._flows()
+        columnar = self._policy().apply(table, interval=10.0)
+        per_record = self._policy().apply(table.to_records(), interval=10.0)
+        assert columnar.forwarded_bits == pytest.approx(per_record.forwarded_bits)
+        assert columnar.dropped_bits == pytest.approx(per_record.dropped_bits)
+        assert columnar.shaped_passed_bits == pytest.approx(per_record.shaped_passed_bits)
+        assert columnar.shaped_dropped_bits == pytest.approx(per_record.shaped_dropped_bits)
+        assert len(columnar.forwarded) == len(per_record.forwarded)
+        assert len(columnar.dropped) == len(per_record.dropped)
+        assert len(columnar.shaped) == len(per_record.shaped)
+
+    def test_rule_stats_match(self):
+        table = self._flows()
+        columnar = self._policy().apply(table, interval=10.0)
+        per_record = self._policy().apply(table.to_records(), interval=10.0)
+        assert set(columnar.rule_stats) == set(per_record.rule_stats)
+        for rule_id, stats in per_record.rule_stats.items():
+            for key, value in stats.items():
+                assert columnar.rule_stats[rule_id][key] == pytest.approx(value)
+
+    def test_anonymous_shape_rule_actually_shapes(self):
+        table = self._flows()
+        assert float(table.total_bits) > 1e6 * 10.0  # the shaper has something to cut
+        for flows in (table, table.to_records()):
+            policy = PortQosPolicy(port_capacity_bps=10e9)
+            policy.install(
+                QosRule(
+                    match=FlowMatch(protocol=IpProtocol.UDP),
+                    action=FilterAction.SHAPE,
+                    shape_rate_bps=1e6,
+                )
+            )
+            result = policy.apply(flows, interval=10.0)
+            assert result.shaped_passed_bits == pytest.approx(1e6 * 10.0, rel=0.05)
+            assert result.shaped_dropped_bits > 0
+
+    def test_delivered_summaries_match(self):
+        table = self._flows()
+        columnar = self._policy().apply(table, interval=10.0)
+        per_record = self._policy().apply(table.to_records(), interval=10.0)
+        assert columnar.delivered_peer_asns() == per_record.delivered_peer_asns()
+        assert columnar.delivered_attack_bits() == pytest.approx(
+            per_record.delivered_attack_bits()
+        )
