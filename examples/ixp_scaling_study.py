@@ -13,15 +13,15 @@ Three questions an IXP operator asks before deploying Advanced Blackholing:
 Run with::
 
     python examples/ixp_scaling_study.py
+
+The same three experiments are one command each on the CLI::
+
+    python -m repro run fig9
+    python -m repro run fig10a
+    python -m repro run fig10b
 """
 
-from repro.experiments import (
-    ChangeQueueingConfig,
-    CpuUpdateRateConfig,
-    run_change_queueing_experiment,
-    run_cpu_update_rate_experiment,
-    run_scaling_experiment,
-)
+from repro.experiments import get_experiment
 from repro.experiments.scaling import DEFAULT_L3L4_MULTIPLES, DEFAULT_MAC_MULTIPLES, ScalingConfig
 from repro.ixp import l_ixp_edge_router_profile
 
@@ -39,7 +39,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("1. TCAM feasibility by adoption rate "
           "(rows: MAC filters/port, columns: L3-L4 criteria/port, in units of N):")
-    result = run_scaling_experiment(ScalingConfig(profile=profile))
+    result = get_experiment("fig9").run(ScalingConfig(profile=profile))
     for rate in (0.2, 0.6, 1.0):
         print()
         print(result.matrix(rate).render(DEFAULT_MAC_MULTIPLES, DEFAULT_L3L4_MULTIPLES))
@@ -48,7 +48,7 @@ def main() -> None:
     # 2. Control-plane update rate (Fig. 10a)
     # ------------------------------------------------------------------
     print("\n2. Control-plane CPU budget:")
-    cpu = run_cpu_update_rate_experiment(CpuUpdateRateConfig())
+    cpu = get_experiment("fig10a").run()
     print(
         f"   CPU usage ≈ {cpu.regression.intercept:.1f}% + "
         f"{cpu.regression.slope:.2f}% per update/s (r = {cpu.regression.r_value:.3f})"
@@ -62,7 +62,7 @@ def main() -> None:
     # 3. Configuration queueing delay (Fig. 10b)
     # ------------------------------------------------------------------
     print("\n3. Configuration-change queueing delay (token-bucket limited):")
-    queueing = run_change_queueing_experiment(ChangeQueueingConfig())
+    queueing = get_experiment("fig10b").run()
     for rate in (4.0, 5.0):
         print(
             f"   dequeue rate {rate:.0f}/s: "

@@ -11,9 +11,13 @@ attack with no collateral damage.
 Run with::
 
     python examples/memcached_collateral_damage.py
+
+Or straight from the experiment registry::
+
+    python -m repro run fig2c --json fig2c.json
 """
 
-from repro.experiments import CollateralDamageConfig, run_collateral_damage_experiment
+from repro.experiments import CollateralDamageConfig, get_experiment
 from repro.traffic import WellKnownPort
 
 PORT_LABELS = {
@@ -37,7 +41,7 @@ def main() -> None:
         seed=5,
     )
     print("Generating the member-facing trace and running the analysis ...")
-    result = run_collateral_damage_experiment(config)
+    result = get_experiment("fig2c").run(config)
 
     print("\nTraffic share towards the attacked member, per application port:")
     header = f"{'port':<18}{'before the attack':>20}{'during the attack':>20}"

@@ -10,14 +10,14 @@ then drop — the attack disappears while legitimate traffic is untouched).
 Run with::
 
     python examples/rtbh_vs_stellar_comparison.py
+
+The individual experiments are also one command each on the CLI::
+
+    python -m repro run fig3c --json rtbh.json
+    python -m repro run fig10c --peer-count 60 --json stellar.json
 """
 
-from repro.experiments import (
-    RtbhAttackConfig,
-    StellarAttackConfig,
-    run_rtbh_attack_experiment,
-    run_stellar_attack_experiment,
-)
+from repro.experiments import RtbhAttackConfig, StellarAttackConfig, get_experiment
 
 
 def sparkline(values, width: int = 60, peak: float | None = None) -> str:
@@ -31,9 +31,11 @@ def sparkline(values, width: int = 60, peak: float | None = None) -> str:
 
 def main() -> None:
     print("Running the RTBH experiment (Fig. 3c) ...")
-    rtbh = run_rtbh_attack_experiment(RtbhAttackConfig(duration=900.0, interval=10.0, seed=7))
+    rtbh = get_experiment("fig3c").run(
+        RtbhAttackConfig(duration=900.0, interval=10.0, seed=7)
+    )
     print("Running the Stellar experiment (Fig. 10c) ...")
-    stellar = run_stellar_attack_experiment(
+    stellar = get_experiment("fig10c").run(
         StellarAttackConfig(duration=900.0, interval=10.0, peer_count=60, seed=11)
     )
 

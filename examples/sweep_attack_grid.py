@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Sweep the booter-attack experiment over a peer-count × attack-rate grid.
+
+An operator sizing an RTBH vs. Advanced Blackholing deployment wants to
+know how the residual attack traffic behaves as the attack scales up and
+spreads across more peers.  This script sweeps the Fig. 3(c) experiment
+over both knobs, fans the grid out across worker processes, and caches
+every finished point in an on-disk artifact store — re-running the script
+(or extending the grid) only computes what is missing.
+
+Run with::
+
+    python examples/sweep_attack_grid.py
+
+The equivalent CLI invocation::
+
+    python -m repro sweep fig3c --grid peer_count=10,20,40 \\
+        --grid attack_peak_bps=5e8,1e9,2e9 --jobs 4 \\
+        --seed-base 42 --store .repro-artifacts --duration 500
+"""
+
+import os
+import tempfile
+import time
+
+from repro.experiments import ResultStore, Sweep, run_sweep
+
+
+def main() -> None:
+    sweep = Sweep(
+        experiment="fig3c",
+        grid={
+            "peer_count": (10, 20, 40),
+            "attack_peak_bps": (5e8, 1e9, 2e9),
+        },
+        base={"duration": 500.0},
+        seed=42,  # every grid point gets an independent derived seed
+    )
+    jobs = min(4, os.cpu_count() or 1)
+    store = ResultStore(os.path.join(tempfile.gettempdir(), "repro-sweep-example"))
+
+    print(f"Sweeping fig3c over a 3x3 grid with {jobs} worker process(es) ...")
+    start = time.perf_counter()
+    result = run_sweep(sweep, jobs=jobs, store=store)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(result)} points in {elapsed:.1f} s "
+        f"({result.cached_points} served from the artifact store)\n"
+    )
+
+    header = f"{'peers':>6} {'attack':>10} {'peak Mbps':>10} {'residual Mbps':>14} {'reduction':>10}"
+    print(header)
+    print("-" * len(header))
+    for point, summary in zip(result.points, result.summaries()):
+        print(
+            f"{point['peer_count']:>6} "
+            f"{point['attack_peak_bps'] / 1e9:>9.1f}G "
+            f"{summary['peak_attack_mbps']:>10.0f} "
+            f"{summary['residual_mbps']:>14.0f} "
+            f"{summary['traffic_reduction_fraction']:>10.0%}"
+        )
+
+    print(
+        "\nRTBH's ~30% compliance leaves most of the attack on the wire at every\n"
+        "scale — the reduction fraction barely moves as the attack grows, which\n"
+        "is exactly the paper's Fig. 3(c) argument for fine-grained blackholing.\n"
+        "Re-run this script: every point now comes from the artifact store."
+    )
+
+
+if __name__ == "__main__":
+    main()

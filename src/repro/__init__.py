@@ -35,6 +35,6 @@ Quick start::
 
 from .core import BlackholingRule, RuleAction, Stellar
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["BlackholingRule", "RuleAction", "Stellar", "__version__"]

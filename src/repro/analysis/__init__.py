@@ -26,7 +26,7 @@ from .stats import (
     mean_confidence_interval,
     welch_t_test,
 )
-from .timeseries import AttackTimeSeries
+from .timeseries import AttackTimeSeries, record_delivery
 
 __all__ = [
     "CollateralDamageReport",
@@ -50,4 +50,5 @@ __all__ = [
     "mean_confidence_interval",
     "welch_t_test",
     "AttackTimeSeries",
+    "record_delivery",
 ]

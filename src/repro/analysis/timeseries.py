@@ -101,3 +101,41 @@ class AttackTimeSeries:
 
     def max_peers(self) -> int:
         return max(self.peer_counts, default=0)
+
+
+def record_delivery(
+    series: AttackTimeSeries,
+    *,
+    time: float,
+    interval: float,
+    delivered_bits: float,
+    attack_bits: float = 0.0,
+    peer_count: int = 0,
+    **extra_bits: float,
+) -> None:
+    """Record one interval's delivery from raw bit counts.
+
+    The attack drivers all observe the same quantities per interval — bits
+    delivered to the victim, the attack subset, the distinct-peer count and
+    technique-specific extras (bits discarded by RTBH, bits filtered by
+    Stellar) — and convert each to Mbps before recording.  This helper is
+    that shared conversion: every keyword in ``extra_bits`` must end in
+    ``_bits`` and is recorded as the corresponding ``_mbps`` series.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    scale = 1.0 / interval / 1e6
+    extra_mbps: Dict[str, float] = {}
+    for key, bits in extra_bits.items():
+        if not key.endswith("_bits"):
+            raise ValueError(
+                f"extra series {key!r} must be named '<label>_bits' (got raw bits)"
+            )
+        extra_mbps[key[: -len("_bits")] + "_mbps"] = bits * scale
+    series.record(
+        time=time,
+        delivered_mbps=delivered_bits * scale,
+        peer_count=peer_count,
+        attack_delivered_mbps=attack_bits * scale,
+        **extra_mbps,
+    )

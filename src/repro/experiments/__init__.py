@@ -14,6 +14,12 @@ Fig. 10(b)    :mod:`repro.experiments.change_queueing`
 Fig. 10(c)    :mod:`repro.experiments.stellar_attack`
 §5.2 lab      :mod:`repro.experiments.functionality`
 ===========  ==========================================================
+
+All ten drivers are registered in :mod:`repro.experiments.registry`; the
+shared event-driven runner lives in :mod:`repro.experiments.harness`, the
+sweep/parallel layer in :mod:`repro.experiments.sweep`, and uniform result
+serialization plus the artifact store in :mod:`repro.experiments.results`.
+The ``python -m repro`` CLI is the user-facing entry point to all of it.
 """
 
 from .change_queueing import (
@@ -56,16 +62,28 @@ from .scaling import (
     ScalingResult,
     run_scaling_experiment,
 )
+from .harness import SteppedExperiment
+from .registry import (
+    ExperimentSpec,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+)
+from .results import JsonResultMixin, ResultStore, to_jsonable
 from .scenario import AttackScenario, build_attack_scenario
 from .stellar_attack import (
     StellarAttackConfig,
     StellarAttackResult,
     run_stellar_attack_experiment,
 )
+from .sweep import Sweep, SweepResult, run_sweep
 from .table1 import (
     QuantitativeComparisonResult,
+    Table1Config,
+    Table1Result,
     build_table1,
     run_quantitative_comparison,
+    run_table1_experiment,
 )
 
 __all__ = [
@@ -103,6 +121,20 @@ __all__ = [
     "StellarAttackResult",
     "run_stellar_attack_experiment",
     "QuantitativeComparisonResult",
+    "Table1Config",
+    "Table1Result",
     "build_table1",
     "run_quantitative_comparison",
+    "run_table1_experiment",
+    "SteppedExperiment",
+    "ExperimentSpec",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "JsonResultMixin",
+    "ResultStore",
+    "to_jsonable",
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
 ]

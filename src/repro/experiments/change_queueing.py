@@ -26,6 +26,7 @@ import numpy as np
 from ..analysis.stats import cdf_quantile, empirical_cdf, fraction_below
 from ..core.change_queue import replay_change_arrivals
 from ..sim.rng import make_rng
+from .results import JsonResultMixin
 
 
 @dataclass
@@ -47,7 +48,7 @@ class ChangeQueueingConfig:
 
 
 @dataclass
-class ChangeQueueingResult:
+class ChangeQueueingResult(JsonResultMixin):
     """Waiting-time distributions per dequeue rate."""
 
     config: ChangeQueueingConfig

@@ -15,7 +15,7 @@ damage of RTBH vs. the fine-grained filter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.collateral import (
     CollateralDamageReport,
@@ -29,6 +29,8 @@ from ..mitigation.rtbh import RtbhMitigation, RtbhService
 from ..traffic.generator import MemberAttackScenarioGenerator
 from ..traffic.packet import IpProtocol, WellKnownPort
 from ..traffic.trace import TrafficTrace
+from .harness import SteppedExperiment
+from .results import JsonResultMixin
 
 #: Ports shown explicitly in Fig. 2(c) (everything else is "others").
 FIG2C_PORTS = (
@@ -57,14 +59,20 @@ class CollateralDamageConfig:
 
 
 @dataclass
-class CollateralDamageResult:
+class CollateralDamageResult(JsonResultMixin):
     """Time series plus RTBH-vs-fine-grained comparison."""
+
+    #: The raw member-facing trace is an input artifact, not a result — it is
+    #: excluded from ``to_dict()`` to keep serialized results bounded.
+    _json_exclude = ("trace",)
 
     config: CollateralDamageConfig
     trace: TrafficTrace
     port_shares: List[PortShareSnapshot]
     rtbh_report: CollateralDamageReport
     fine_grained_potential: Dict[str, float]
+    #: Phase transitions recorded by the harness: ``(time, kind, details)``.
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def share_before_attack(self, port: int) -> float:
@@ -135,16 +143,39 @@ def run_collateral_damage_experiment(
         victim_trace, interval=config.interval, top_ports=FIG2C_PORTS
     )
 
-    # RTBH during the attack: a fully honoured /32 blackhole drops every
-    # flow, which is the worst-case collateral damage the figure motivates.
-    attack_window = victim_trace.between(config.attack_start, config.duration)
+    # The phase structure (attack onset, the operator's worst-case RTBH
+    # response) is a scheduled timeline on the harness; the per-interval
+    # port shares above stay vectorized over the whole pre-generated trace.
+    harness = SteppedExperiment(duration=config.duration, interval=config.interval)
     rtbh_service = RtbhService(ixp_asn=64700, compliance_rate=1.0, seed=config.seed)
-    peer_asns = sorted(attack_window.distinct_ingress_members())
-    rtbh_service.request_blackhole(
-        victim_asn=config.victim_member_asn,
-        prefix=f"{config.victim_ip}/32",
-        peer_asns=peer_asns,
-    )
+    state: Dict[str, object] = {}
+
+    def start_attack() -> None:
+        pass  # log-only: the generator already embeds the attack in the trace
+
+    def signal_blackhole(start: Optional[float] = None) -> None:
+        # RTBH during the attack: a fully honoured /32 blackhole drops every
+        # flow, which is the worst-case collateral damage the figure motivates.
+        if start is None:
+            start = harness.now
+        attack_window = victim_trace.between(start, config.duration)
+        peer_asns = sorted(attack_window.distinct_ingress_members())
+        rtbh_service.request_blackhole(
+            victim_asn=config.victim_member_asn,
+            prefix=f"{config.victim_ip}/32",
+            peer_asns=peer_asns,
+        )
+        state["attack_window"] = attack_window
+
+    harness.at(config.attack_start, start_attack, name="attack-start")
+    harness.at(config.attack_start, signal_blackhole, name="rtbh-blackhole")
+    harness.run()
+
+    if "attack_window" not in state:
+        # Attack scheduled past the end of the timeline: analyse the (empty)
+        # window directly, as the flag-polling driver effectively did.
+        signal_blackhole(start=config.attack_start)
+    attack_window = state["attack_window"]
     window_table = attack_window.table_or_none()
     window_flows = window_table if window_table is not None else list(attack_window)
     outcome: MitigationOutcome = RtbhMitigation(rtbh_service).apply(
@@ -164,4 +195,5 @@ def run_collateral_damage_experiment(
         port_shares=shares,
         rtbh_report=rtbh_report,
         fine_grained_potential=potential,
+        events=harness.events(),
     )

@@ -19,6 +19,7 @@ from ..ixp.control_plane import (
     PAPER_MEDIAN_UPDATE_RATE,
     ControlPlaneCpuModel,
 )
+from .results import JsonResultMixin
 
 
 @dataclass
@@ -32,7 +33,7 @@ class CpuUpdateRateConfig:
 
 
 @dataclass
-class CpuUpdateRateResult:
+class CpuUpdateRateResult(JsonResultMixin):
     """Measurements, regression fit and derived sustainable update rate."""
 
     config: CpuUpdateRateConfig

@@ -14,8 +14,8 @@ The experiment reproduces this with the flow-level data plane.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.rules import BlackholingRule
 from ..core.stellar import Stellar
@@ -25,6 +25,8 @@ from ..ixp.member import IxpMember
 from ..traffic.attacks import AmplificationAttack, BenignTrafficSource
 from ..traffic.amplification import get_vector
 from ..traffic.packet import WellKnownPort
+from .harness import SteppedExperiment
+from .results import JsonResultMixin
 
 
 @dataclass
@@ -42,7 +44,7 @@ class FunctionalityConfig:
 
 
 @dataclass
-class FunctionalityResult:
+class FunctionalityResult(JsonResultMixin):
     """Per-phase delivery rates (bps) towards the member."""
 
     config: FunctionalityConfig
@@ -56,6 +58,8 @@ class FunctionalityResult:
     shaped_phase_delivered_bps: Dict[str, float]
     #: Attack traffic delivered per target IP in the shaping phase.
     shaped_phase_attack_bps: Dict[str, float]
+    #: Phase transitions recorded by the harnesses: ``(time, kind, details)``.
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
 
     def summary(self) -> Dict[str, float]:
         summary = {"baseline_delivered_mbps": self.baseline_delivered_bps / 1e6}
@@ -113,64 +117,105 @@ def _traffic_for(
     return flows
 
 
+def _per_target_rates(
+    result, targets: List[str], interval: float
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Delivered and attack-only rates (bps) per target IP for one phase."""
+    delivered_flows = result.forwarded + result.shaped
+    delivered: Dict[str, float] = {}
+    attack: Dict[str, float] = {}
+    for ip in targets:
+        delivered[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / interval
+        )
+        attack[ip] = (
+            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip and flow.is_attack)
+            / interval
+        )
+    return delivered, attack
+
+
+def _run_phase(
+    config: FunctionalityConfig,
+    targets: List[str],
+    phase: str,
+    rule_for: Optional[Callable[[int, str, int], BlackholingRule]] = None,
+):
+    """Run one lab phase on a fresh system, driven through the harness.
+
+    The generator is always on; the phase timeline is event driven: with
+    rules to install, the install fires one interval in (followed by a
+    control-plane pass, matching the lab's reconfiguration pause) and the
+    measurement interval starts one interval later.  The baseline phase
+    measures immediately.
+    """
+    stellar, victim, peers = _build_system(config)
+    harness = SteppedExperiment(duration=3 * config.interval, interval=config.interval)
+    measured: Dict[str, object] = {}
+
+    def install_rules() -> None:
+        for ip in targets:
+            for port in (int(WellKnownPort.NTP), int(WellKnownPort.DNS)):
+                stellar.request_mitigation(rule_for(victim.asn, ip, port), via="api")
+        stellar.process_control_plane(now=harness.now)
+
+    measure_time = 0.0
+    if rule_for is not None:
+        harness.at(config.interval, install_rules, name=f"{phase}-install")
+        measure_time = 2 * config.interval
+
+    def measure() -> None:
+        flows = _traffic_for(config, targets, peers, t=harness.now)
+        report = stellar.deliver_traffic(
+            flows, config.interval, interval_start=harness.now
+        )
+        measured["result"] = report.fabric_report.results_by_member[victim.asn]
+
+    harness.at(measure_time, measure, name=f"{phase}-measure")
+    harness.run()
+    return measured["result"], harness.events()
+
+
 def run_functionality_experiment(
     config: FunctionalityConfig | None = None,
 ) -> FunctionalityResult:
     """Run the three validation phases (baseline, drop, shape)."""
     config = config if config is not None else FunctionalityConfig()
     targets = [f"100.10.10.{10 + i}" for i in range(config.target_ip_count)]
+    events: List[Tuple[float, str, Dict]] = []
 
     # Phase 1: no rules — the 1 Gbps port is congested by the 10 Gbps load.
-    stellar, victim, peers = _build_system(config)
-    flows = _traffic_for(config, targets, peers, t=0.0)
-    report = stellar.deliver_traffic(flows, config.interval, interval_start=0.0)
-    baseline = report.fabric_report.results_by_member[victim.asn].delivered_bits / config.interval
+    baseline_result, phase_events = _run_phase(config, targets, "baseline")
+    baseline = baseline_result.delivered_bits / config.interval
+    events.extend(phase_events)
 
     # Phase 2: drop NTP and DNS per target IP.
-    stellar, victim, peers = _build_system(config)
-    for ip in targets:
-        for port in (int(WellKnownPort.NTP), int(WellKnownPort.DNS)):
-            rule = BlackholingRule.drop_udp_source_port(victim.asn, f"{ip}/32", port)
-            stellar.request_mitigation(rule, via="api")
-    stellar.process_control_plane(now=10.0)
-    flows = _traffic_for(config, targets, peers, t=20.0)
-    report = stellar.deliver_traffic(flows, config.interval, interval_start=20.0)
-    result = report.fabric_report.results_by_member[victim.asn]
-    dropped_delivered: Dict[str, float] = {}
-    dropped_attack: Dict[str, float] = {}
-    delivered_flows = result.forwarded + result.shaped
-    for ip in targets:
-        dropped_delivered[ip] = (
-            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / config.interval
-        )
-        dropped_attack[ip] = (
-            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip and flow.is_attack)
-            / config.interval
-        )
+    drop_result, phase_events = _run_phase(
+        config,
+        targets,
+        "drop",
+        lambda asn, ip, port: BlackholingRule.drop_udp_source_port(
+            asn, f"{ip}/32", port
+        ),
+    )
+    dropped_delivered, dropped_attack = _per_target_rates(
+        drop_result, targets, config.interval
+    )
+    events.extend(phase_events)
 
     # Phase 3: shape NTP and DNS per target IP instead of dropping.
-    stellar, victim, peers = _build_system(config)
-    for ip in targets:
-        for port in (int(WellKnownPort.NTP), int(WellKnownPort.DNS)):
-            rule = BlackholingRule.shape_udp_source_port(
-                victim.asn, f"{ip}/32", port, rate_bps=config.shape_rate_bps
-            )
-            stellar.request_mitigation(rule, via="api")
-    stellar.process_control_plane(now=10.0)
-    flows = _traffic_for(config, targets, peers, t=20.0)
-    report = stellar.deliver_traffic(flows, config.interval, interval_start=20.0)
-    result = report.fabric_report.results_by_member[victim.asn]
-    shaped_delivered: Dict[str, float] = {}
-    shaped_attack: Dict[str, float] = {}
-    delivered_flows = result.forwarded + result.shaped
-    for ip in targets:
-        shaped_delivered[ip] = (
-            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / config.interval
-        )
-        shaped_attack[ip] = (
-            sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip and flow.is_attack)
-            / config.interval
-        )
+    shape_result, phase_events = _run_phase(
+        config,
+        targets,
+        "shape",
+        lambda asn, ip, port: BlackholingRule.shape_udp_source_port(
+            asn, f"{ip}/32", port, rate_bps=config.shape_rate_bps
+        ),
+    )
+    shaped_delivered, shaped_attack = _per_target_rates(
+        shape_result, targets, config.interval
+    )
+    events.extend(phase_events)
 
     return FunctionalityResult(
         config=config,
@@ -179,4 +224,5 @@ def run_functionality_experiment(
         dropped_phase_attack_bps=dropped_attack,
         shaped_phase_delivered_bps=shaped_delivered,
         shaped_phase_attack_bps=shaped_attack,
+        events=events,
     )

@@ -18,6 +18,7 @@ from ..analysis.compliance import PolicyControlDistribution, policy_control_dist
 from ..bgp.route_server import PolicyControl
 from ..mitigation.rtbh import RtbhService
 from ..sim.rng import make_rng
+from .results import JsonResultMixin
 
 #: The paper's reported shares per category (Fig. 3(b)), used as sampling
 #: weights for the synthetic announcement log.
@@ -46,7 +47,7 @@ class PolicyControlConfig:
 
 
 @dataclass
-class PolicyControlResult:
+class PolicyControlResult(JsonResultMixin):
     """The recovered announcement-share distribution."""
 
     config: PolicyControlConfig

@@ -24,6 +24,7 @@ from ..traffic.flowtable import iter_window_masks
 from ..traffic.generator import IxpTraceGenerator
 from ..traffic.packet import IpProtocol
 from ..traffic.trace import TrafficTrace
+from .results import JsonResultMixin
 
 
 @dataclass
@@ -42,7 +43,7 @@ class PortDistributionConfig:
 
 
 @dataclass
-class PortDistributionResult:
+class PortDistributionResult(JsonResultMixin):
     """Per-port shares, confidence intervals and significance tests."""
 
     config: PortDistributionConfig

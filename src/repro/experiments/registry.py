@@ -1,0 +1,227 @@
+"""Declarative registry of the paper's ten experiments.
+
+Each table/figure of the evaluation is described by an
+:class:`ExperimentSpec` — its config dataclass, runner, paper reference and
+the overrides that make a quick smoke run cheap — so the CLI, the sweep
+layer and the tests can enumerate, configure and run every experiment
+uniformly instead of importing ten ad-hoc driver functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
+from .collateral_damage import CollateralDamageConfig, run_collateral_damage_experiment
+from .cpu_update_rate import CpuUpdateRateConfig, run_cpu_update_rate_experiment
+from .functionality import FunctionalityConfig, run_functionality_experiment
+from .policy_control import PolicyControlConfig, run_policy_control_experiment
+from .port_distribution import PortDistributionConfig, run_port_distribution_experiment
+from .rtbh_attack import RtbhAttackConfig, run_rtbh_attack_experiment
+from .scaling import ScalingConfig, run_scaling_experiment
+from .stellar_attack import StellarAttackConfig, run_stellar_attack_experiment
+from .table1 import Table1Config, run_table1_experiment
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, config schema and runner."""
+
+    #: Canonical name used by the CLI and the sweep layer (e.g. ``"fig3c"``).
+    name: str
+    #: The paper reference (e.g. ``"Fig. 3(c)"``).
+    figure: str
+    #: One-line description shown by ``python -m repro list``.
+    title: str
+    #: The config dataclass; every field is a sweepable/CLI-settable knob.
+    config_cls: type
+    #: ``runner(config) -> result``; results expose ``to_dict()``/``summary()``.
+    runner: Callable[[Any], Any]
+    #: Alternative lookup names (module-style names, paper shorthands).
+    aliases: Tuple[str, ...] = ()
+    #: Config overrides applied by ``--quick`` / smoke runs.
+    quick_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def config_fields(self) -> List[dataclasses.Field]:
+        return list(dataclasses.fields(self.config_cls))
+
+    def config_field_names(self) -> List[str]:
+        return [f.name for f in self.config_fields()]
+
+    def make_config(self, quick: bool = False, **overrides: Any) -> Any:
+        """Build a config, validating override names against the dataclass."""
+        params: Dict[str, Any] = dict(self.quick_overrides) if quick else {}
+        params.update(overrides)
+        known = set(self.config_field_names())
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s) for {self.name}: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return self.config_cls(**params)
+
+    def run(self, config: Any = None, *, quick: bool = False, **overrides: Any) -> Any:
+        """Run the experiment with an explicit config or from overrides."""
+        if config is not None:
+            if quick or overrides:
+                raise ValueError("pass either a config object or overrides, not both")
+            return self.runner(config)
+        return self.runner(self.make_config(quick=quick, **overrides))
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry (canonical name and aliases must be free)."""
+    for name in (spec.name, *spec.aliases):
+        key = name.lower()
+        if key in _REGISTRY or key in _ALIASES:
+            raise ValueError(f"experiment name {name!r} is already registered")
+    _REGISTRY[spec.name.lower()] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = spec.name.lower()
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a spec by canonical name or alias (case-insensitive)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """All registered specs, in registration (paper) order."""
+    return list(_REGISTRY.values())
+
+
+def experiment_names() -> List[str]:
+    return [spec.name for spec in all_experiments()]
+
+
+# ----------------------------------------------------------------------
+# The ten experiments of the paper's evaluation, in paper order.
+# ----------------------------------------------------------------------
+register(
+    ExperimentSpec(
+        name="table1",
+        figure="Table 1",
+        title="Qualitative + quantitative comparison of DDoS mitigation techniques",
+        config_cls=Table1Config,
+        runner=run_table1_experiment,
+        aliases=("comparison",),
+        quick_overrides={"seed": 3},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig2c",
+        figure="Fig. 2(c)",
+        title="Collateral damage of RTBH during a memcached amplification attack",
+        config_cls=CollateralDamageConfig,
+        runner=run_collateral_damage_experiment,
+        aliases=("collateral-damage", "collateral_damage"),
+        quick_overrides={"duration": 1200.0, "attack_start": 480.0, "peer_count": 8},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig3a",
+        figure="Fig. 3(a)",
+        title="UDP source ports of blackholed vs. regular traffic",
+        config_cls=PortDistributionConfig,
+        runner=run_port_distribution_experiment,
+        aliases=("port-distribution", "port_distribution"),
+        quick_overrides={
+            "member_count": 20,
+            "duration": 1800.0,
+            "rtbh_event_count": 6,
+        },
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig3b",
+        figure="Fig. 3(b)",
+        title="Usage of policy control for RTBH announcements",
+        config_cls=PolicyControlConfig,
+        runner=run_policy_control_experiment,
+        aliases=("policy-control", "policy_control"),
+        quick_overrides={"announcement_count": 2000, "member_count": 80},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig3c",
+        figure="Fig. 3(c)",
+        title="Active DDoS attack exposing RTBH ineffectiveness",
+        config_cls=RtbhAttackConfig,
+        runner=run_rtbh_attack_experiment,
+        aliases=("rtbh-attack", "rtbh_attack", "rtbh"),
+        quick_overrides={"duration": 500.0, "peer_count": 15},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig9",
+        figure="Fig. 9",
+        title="Stellar scaling limits by IXP member adoption rate",
+        config_cls=ScalingConfig,
+        runner=run_scaling_experiment,
+        aliases=("scaling",),
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig10a",
+        figure="Fig. 10(a)",
+        title="Control-plane CPU usage vs. rule-update rate",
+        config_cls=CpuUpdateRateConfig,
+        runner=run_cpu_update_rate_experiment,
+        aliases=("cpu-update-rate", "cpu_update_rate"),
+        quick_overrides={"samples_per_rate": 10},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig10b",
+        figure="Fig. 10(b)",
+        title="Queueing delay of configuration changes",
+        config_cls=ChangeQueueingConfig,
+        runner=run_change_queueing_experiment,
+        aliases=("change-queueing", "change_queueing"),
+        quick_overrides={"duration_seconds": 4 * 3600.0, "burst_count": 4},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig10c",
+        figure="Fig. 10(c)",
+        title="Active DDoS attack mitigated with Stellar (shape, then drop)",
+        config_cls=StellarAttackConfig,
+        runner=run_stellar_attack_experiment,
+        aliases=("stellar-attack", "stellar_attack", "stellar"),
+        quick_overrides={"duration": 560.0, "peer_count": 20},
+    )
+)
+register(
+    ExperimentSpec(
+        name="functionality",
+        figure="§5.2 lab",
+        title="Drop/shape/forward queue behaviour of the filtering layer",
+        config_cls=FunctionalityConfig,
+        runner=run_functionality_experiment,
+        aliases=("lab", "sec5.2"),
+        quick_overrides={"target_ip_count": 2, "peer_count": 3},
+    )
+)

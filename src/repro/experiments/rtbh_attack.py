@@ -11,11 +11,13 @@ by about 25 %.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from ..analysis.timeseries import AttackTimeSeries
+from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..mitigation.rtbh import RtbhMitigation
 from ..traffic.flow import distinct_ingress_members
+from .harness import SteppedExperiment
+from .results import JsonResultMixin
 from .scenario import AttackScenario, build_attack_scenario
 
 
@@ -36,13 +38,15 @@ class RtbhAttackConfig:
 
 
 @dataclass
-class RtbhAttackResult:
+class RtbhAttackResult(JsonResultMixin):
     """Time series and summary numbers of the Fig. 3(c) experiment."""
 
     config: RtbhAttackConfig
     series: AttackTimeSeries
     honoring_peer_count: int
     total_peer_count: int
+    #: Phase transitions recorded by the harness: ``(time, kind, details)``.
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -120,42 +124,45 @@ def run_rtbh_attack_experiment(
         )
     mitigation = RtbhMitigation(scenario.rtbh)
     series = AttackTimeSeries()
-    blackhole_event = None
+    harness = SteppedExperiment(duration=config.duration, interval=config.interval)
+    blackhole_events: List = []
 
-    steps = int(config.duration / config.interval)
-    for step in range(steps):
-        t = step * config.interval
-        if blackhole_event is None and t >= config.blackhole_time:
-            blackhole_event = scenario.rtbh.request_blackhole(
+    def signal_blackhole() -> None:
+        blackhole_events.append(
+            scenario.rtbh.request_blackhole(
                 victim_asn=scenario.victim.asn,
                 prefix=f"{scenario.victim_ip}/32",
                 peer_asns=scenario.peer_asns,
-                time=t,
+                time=harness.now,
             )
-        flows = scenario.attack.flows(t, config.interval) + scenario.benign.flows(
-            t, config.interval
         )
-        outcome = mitigation.apply(flows, config.interval)
+
+    harness.at(config.blackhole_time, signal_blackhole, name="rtbh-signalled")
+
+    def step(t: float, interval: float) -> None:
+        flows = scenario.attack.flows(t, interval) + scenario.benign.flows(t, interval)
+        outcome = mitigation.apply(flows, interval)
         delivered_flows = outcome.delivered + outcome.shaped
-        delivered_bits = sum(flow.bits for flow in delivered_flows)
-        attack_bits = sum(flow.bits for flow in delivered_flows if flow.is_attack)
         peers = distinct_ingress_members(
             flow for flow in delivered_flows if flow.bytes > 0
         )
-        series.record(
+        record_delivery(
+            series,
             time=t,
-            delivered_mbps=delivered_bits / config.interval / 1e6,
+            interval=interval,
+            delivered_bits=sum(flow.bits for flow in delivered_flows),
+            attack_bits=sum(flow.bits for flow in delivered_flows if flow.is_attack),
             peer_count=len(peers),
-            attack_delivered_mbps=attack_bits / config.interval / 1e6,
-            discarded_mbps=outcome.discarded_bits / config.interval / 1e6,
+            discarded_bits=outcome.discarded_bits,
         )
 
-    honoring = (
-        len(blackhole_event.honoring_members) if blackhole_event is not None else 0
-    )
+    harness.run(step)
+
+    honoring = len(blackhole_events[0].honoring_members) if blackhole_events else 0
     return RtbhAttackResult(
         config=config,
         series=series,
         honoring_peer_count=honoring,
         total_peer_count=len(scenario.peers),
+        events=harness.events(),
     )

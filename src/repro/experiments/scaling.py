@@ -25,6 +25,7 @@ from ..ixp.hardware_profiles import (
     l_ixp_edge_router_profile,
 )
 from ..ixp.tcam import TcamStatus
+from .results import JsonResultMixin
 
 #: Multiples of N swept on each axis, matching the figure's ticks.
 DEFAULT_MAC_MULTIPLES = (0, 2, 4, 6, 8, 10)
@@ -78,7 +79,7 @@ class ScalingMatrix:
 
 
 @dataclass
-class ScalingResult:
+class ScalingResult(JsonResultMixin):
     """Feasibility matrices for every adoption rate."""
 
     config: ScalingConfig

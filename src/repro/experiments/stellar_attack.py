@@ -16,13 +16,15 @@ mitigates it with Advanced Blackholing instead of RTBH:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
-from ..analysis.timeseries import AttackTimeSeries
+from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.rules import BlackholingRule
 from ..traffic.flowtable import FlowTable
 from ..traffic.packet import IpProtocol, WellKnownPort
+from .harness import SteppedExperiment
+from .results import JsonResultMixin
 from .scenario import AttackScenario, build_attack_scenario
 
 
@@ -44,11 +46,13 @@ class StellarAttackConfig:
 
 
 @dataclass
-class StellarAttackResult:
+class StellarAttackResult(JsonResultMixin):
     """Time series and summary numbers of the Fig. 10(c) experiment."""
 
     config: StellarAttackConfig
     series: AttackTimeSeries
+    #: Phase transitions recorded by the harness: ``(time, kind, details)``.
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -122,52 +126,48 @@ def run_stellar_attack_experiment(
     victim_asn = scenario.victim.asn
     victim_prefix = f"{scenario.victim_ip}/32"
     series = AttackTimeSeries()
+    harness = SteppedExperiment(duration=config.duration, interval=config.interval)
 
-    shape_signalled = False
-    drop_signalled = False
-    steps = int(config.duration / config.interval)
-    for step in range(steps):
-        t = step * config.interval
-        stellar.advance_to(t)
-        if not shape_signalled and t >= config.shape_time:
-            # "IXP:2:123" + shape: rate-limit NTP reflection traffic so the
-            # victim keeps receiving a telemetry sample.
-            rule = BlackholingRule.shape_udp_source_port(
-                victim_asn,
-                victim_prefix,
-                int(WellKnownPort.NTP),
-                rate_bps=config.shape_rate_bps,
-            )
-            stellar.request_mitigation(rule, via="bgp")
-            shape_signalled = True
-        if not drop_signalled and t >= config.drop_time:
-            # Escalate: drop all UDP towards the victim.
-            rule = BlackholingRule.drop_protocol(
-                victim_asn, victim_prefix, IpProtocol.UDP
-            )
-            stellar.request_mitigation(rule, via="bgp")
-            drop_signalled = True
+    def signal_shape() -> None:
+        # "IXP:2:123" + shape: rate-limit NTP reflection traffic so the
+        # victim keeps receiving a telemetry sample.
+        rule = BlackholingRule.shape_udp_source_port(
+            victim_asn,
+            victim_prefix,
+            int(WellKnownPort.NTP),
+            rate_bps=config.shape_rate_bps,
+        )
+        stellar.request_mitigation(rule, via="bgp")
 
+    def signal_drop() -> None:
+        # Escalate: drop all UDP towards the victim.
+        rule = BlackholingRule.drop_protocol(victim_asn, victim_prefix, IpProtocol.UDP)
+        stellar.request_mitigation(rule, via="bgp")
+
+    harness.at(config.shape_time, signal_shape, name="stellar-shape")
+    harness.at(config.drop_time, signal_drop, name="stellar-drop")
+
+    def step(t: float, interval: float) -> None:
         flows = FlowTable.concat(
             [
-                scenario.attack.flow_table(t, config.interval),
-                scenario.benign.flow_table(t, config.interval),
+                scenario.attack.flow_table(t, interval),
+                scenario.benign.flow_table(t, interval),
             ]
         )
-        report = stellar.deliver_traffic(flows, config.interval, interval_start=t)
+        report = stellar.deliver_traffic(flows, interval, interval_start=t)
         result = report.fabric_report.results_by_member.get(victim_asn)
         if result is None:
             series.record(time=t, delivered_mbps=0.0, peer_count=0)
-            continue
-        delivered_bits = result.delivered_bits
-        attack_bits = result.delivered_attack_bits()
-        peers = result.delivered_peer_asns()
-        series.record(
+            return
+        record_delivery(
+            series,
             time=t,
-            delivered_mbps=delivered_bits / config.interval / 1e6,
-            peer_count=len(peers),
-            attack_delivered_mbps=attack_bits / config.interval / 1e6,
-            filtered_mbps=report.filtered_bits / config.interval / 1e6,
+            interval=interval,
+            delivered_bits=result.delivered_bits,
+            attack_bits=result.delivered_attack_bits(),
+            peer_count=len(result.delivered_peer_asns()),
+            filtered_bits=report.filtered_bits,
         )
 
-    return StellarAttackResult(config=config, series=series)
+    harness.run(step)
+    return StellarAttackResult(config=config, series=series, events=harness.events())

@@ -1,0 +1,196 @@
+"""Parameter sweeps over registered experiments, with parallel fan-out.
+
+A :class:`Sweep` names a registered experiment and a grid (cartesian
+product) or explicit list of config overrides.  :func:`run_sweep` executes
+every point — serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`
+— and returns one serialized result dict per point.  Three properties make
+sweeps safe to parallelize and cheap to re-run:
+
+* **determinism** — every point is fully described by its resolved config;
+  per-point seeds are derived with :func:`repro.sim.rng.derive_seed` from
+  the sweep seed and the point's override values, so a worker process
+  computes exactly what a serial run would and grid extensions never
+  change the seed of an existing point;
+* **order independence** — results are collected by point index, so the
+  output order never depends on worker scheduling;
+* **incrementality** — with a :class:`~repro.experiments.results.ResultStore`,
+  finished points are cached by their content key and skipped on re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim.rng import derive_seed
+from .registry import get_experiment
+from .results import JsonResultMixin, ResultStore, to_jsonable
+
+
+def _point_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
+    """Deterministic per-point seed derived from the point's *content*.
+
+    Keyed by the override values rather than the point's enumeration index,
+    so extending or reordering a grid never changes the seed (and therefore
+    the cached artifact) of an unchanged logical point.
+    """
+    canonical = json.dumps(to_jsonable(dict(overrides)), sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return derive_seed(base_seed, int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A grid of config overrides for one registered experiment."""
+
+    #: Registry name (or alias) of the experiment to sweep.
+    experiment: str
+    #: ``field -> candidate values``; the cartesian product is swept in
+    #: insertion order (first field varies slowest).
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: Overrides applied identically to every point.
+    base: Mapping[str, Any] = field(default_factory=dict)
+    #: When set (and the config has a ``seed`` field), every point gets an
+    #: independent seed derived from this value and the point's overrides.
+    seed: Optional[int] = None
+    #: Apply the experiment's quick overrides beneath ``base``/``grid``.
+    quick: bool = False
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The per-point override dicts, in deterministic grid order."""
+        spec = get_experiment(self.experiment)
+        known = set(spec.config_field_names())
+        for name in (*self.grid, *self.base):
+            if name not in known:
+                raise ValueError(
+                    f"unknown config field {name!r} for experiment {spec.name}"
+                )
+        if self.seed is not None and "seed" not in known:
+            raise ValueError(
+                f"experiment {spec.name} has no 'seed' field; "
+                "per-point seed derivation does not apply"
+            )
+        names = list(self.grid)
+        combos = itertools.product(*(self.grid[name] for name in names))
+        points: List[Dict[str, Any]] = []
+        for combo in combos:
+            overrides = dict(self.base)
+            overrides.update(zip(names, combo))
+            if self.seed is not None and "seed" not in overrides:
+                overrides["seed"] = _point_seed(self.seed, overrides)
+            points.append(overrides)
+        return points
+
+    def resolved_configs(self) -> List[Dict[str, Any]]:
+        """Fully resolved (defaults included) config dict per point."""
+        spec = get_experiment(self.experiment)
+        return [
+            asdict(spec.make_config(quick=self.quick, **overrides))
+            for overrides in self.points()
+        ]
+
+
+@dataclass
+class SweepResult(JsonResultMixin):
+    """Per-point configs and serialized results of one sweep run."""
+
+    experiment: str
+    #: The override dict that produced each point.
+    points: List[Dict[str, Any]]
+    #: ``result.to_dict()`` per point, aligned with :attr:`points`.
+    results: List[Dict[str, Any]]
+    #: How many points were served from the artifact store.
+    cached_points: int = 0
+    #: How many worker processes were used (1 = serial).
+    jobs: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """The summary block of every point (empty dict when absent)."""
+        return [result.get("summary", {}) for result in self.results]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "points": float(len(self.results)),
+            "cached_points": float(self.cached_points),
+            "jobs": float(self.jobs),
+        }
+
+
+def _run_point(experiment: str, overrides: Mapping[str, Any], quick: bool) -> Dict[str, Any]:
+    """Execute one sweep point and serialize its result.
+
+    Module-level (and driven purely by its arguments) so it can be shipped
+    to worker processes; the serial path calls the exact same function,
+    which is what guarantees parallel results match serial ones.
+    """
+    spec = get_experiment(experiment)
+    result = spec.run(quick=quick, **dict(overrides))
+    payload = result.to_dict()
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"{spec.name} result.to_dict() must return a dict, got {type(payload).__name__}"
+        )
+    return to_jsonable(payload)
+
+
+def run_sweep(
+    sweep: Sweep,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+) -> SweepResult:
+    """Run every point of ``sweep``; fan out over ``jobs`` processes if > 1.
+
+    With a ``store``, cached points are loaded instead of recomputed and
+    fresh points are persisted, so interrupted or extended sweeps resume
+    incrementally.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    spec = get_experiment(sweep.experiment)
+    points = sweep.points()
+    configs = sweep.resolved_configs()
+    keys = [ResultStore.key_for(spec.name, config) for config in configs]
+
+    results: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    missing: List[int] = []
+    for index in range(len(points)):
+        cached = store.load(keys[index]) if store is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            missing.append(index)
+
+    # Each point is persisted the moment it completes (not after the whole
+    # batch), so an interrupted sweep still resumes incrementally.
+    def finish(index: int, payload: Dict[str, Any]) -> None:
+        results[index] = payload
+        if store is not None:
+            store.save(keys[index], payload)
+
+    if jobs > 1 and len(missing) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_point, spec.name, points[index], sweep.quick): index
+                for index in missing
+            }
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+    else:
+        for index in missing:
+            finish(index, _run_point(spec.name, points[index], sweep.quick))
+
+    assert all(result is not None for result in results)
+    return SweepResult(
+        experiment=spec.name,
+        points=points,
+        results=list(results),  # type: ignore[arg-type]
+        cached_points=len(points) - len(missing),
+        jobs=jobs,
+    )

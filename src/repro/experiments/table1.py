@@ -26,6 +26,7 @@ from ..mitigation.flowspec import FlowspecMitigation, FlowspecService
 from ..mitigation.rtbh import RtbhMitigation, RtbhService
 from ..mitigation.scrubbing import ScrubbingMitigation
 from ..traffic.packet import IpProtocol
+from .results import JsonResultMixin
 from .scenario import build_attack_scenario
 
 
@@ -56,7 +57,7 @@ def build_table1() -> ComparisonTable:
 
 
 @dataclass
-class QuantitativeComparisonResult:
+class QuantitativeComparisonResult(JsonResultMixin):
     """Residual attack and collateral damage per technique on one scenario."""
 
     residual_attack_fraction: Dict[str, float]
@@ -69,6 +70,38 @@ class QuantitativeComparisonResult:
         for name, value in self.collateral_damage_fraction.items():
             summary[f"collateral_{name}"] = value
         return summary
+
+
+@dataclass
+class Table1Config:
+    """Parameters of the Table 1 experiment (the registry entry point)."""
+
+    seed: int = 19
+
+
+@dataclass
+class Table1Result(JsonResultMixin):
+    """Qualitative matrix check plus the quantitative comparison."""
+
+    config: Table1Config
+    matches_paper: bool
+    comparison: QuantitativeComparisonResult
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "matches_paper": float(self.matches_paper),
+            **self.comparison.summary(),
+        }
+
+
+def run_table1_experiment(config: Table1Config | None = None) -> Table1Result:
+    """Run the full Table 1 experiment: matrix check + quantitative runs."""
+    config = config if config is not None else Table1Config()
+    return Table1Result(
+        config=config,
+        matches_paper=build_table1().matches_paper(),
+        comparison=run_quantitative_comparison(seed=config.seed),
+    )
 
 
 def run_quantitative_comparison(seed: int = 19) -> QuantitativeComparisonResult:

@@ -5,6 +5,7 @@ from .engine import SimulationEngine
 from .events import Event, EventLog
 from .rng import (
     DEFAULT_SEED,
+    derive_seed,
     exponential_interarrivals,
     make_rng,
     pareto_bytes,
@@ -18,6 +19,7 @@ __all__ = [
     "Event",
     "EventLog",
     "DEFAULT_SEED",
+    "derive_seed",
     "make_rng",
     "spawn",
     "weighted_choice",

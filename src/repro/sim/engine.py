@@ -19,11 +19,20 @@ from .events import Event, EventLog
 class SimulationEngine:
     """Priority-queue based event scheduler."""
 
+    #: Compact the heap whenever at least this many events are queued and
+    #: more than half of them are cancelled corpses.
+    _COMPACT_MIN_SIZE = 8
+    #: Re-check the corpse fraction every this many pushes, so long-lived
+    #: engines with heavy cancel churn stay O(live) without scanning on
+    #: every schedule call.
+    _COMPACT_PUSH_PERIOD = 256
+
     def __init__(self, clock: Optional[SimulationClock] = None) -> None:
         self.clock = clock if clock is not None else SimulationClock()
         self.log = EventLog()
         self._queue: list[Event] = []
         self._processed = 0
+        self._pushes_since_compact = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -67,6 +76,10 @@ class SimulationEngine:
             name=name,
         )
         heapq.heappush(self._queue, event)
+        self._pushes_since_compact += 1
+        if self._pushes_since_compact >= self._COMPACT_PUSH_PERIOD:
+            self._pushes_since_compact = 0
+            self._compact_if_stale()
         return event
 
     # ------------------------------------------------------------------
@@ -74,8 +87,33 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return len(self._queue)
+        """Number of live (not cancelled, not yet fired) events.
+
+        Cancelled events still sitting in the heap are not counted; if they
+        make up the majority of the heap it is compacted as a side effect,
+        so a schedule/cancel-heavy workload cannot leak memory.
+        """
+        live = sum(1 for event in self._queue if not event.cancelled)
+        self._compact_if_stale(live)
+        return live
+
+    def compact(self) -> int:
+        """Evict cancelled events from the heap; returns how many were removed.
+
+        ``step``/``peek_time`` only pop cancelled events once they reach the
+        top of the heap, so a workload that schedules far-future events and
+        cancels them would otherwise accumulate corpses indefinitely.
+        """
+        before = len(self._queue)
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        return before - len(self._queue)
+
+    def _compact_if_stale(self, live: Optional[int] = None) -> None:
+        if live is None:
+            live = sum(1 for event in self._queue if not event.cancelled)
+        if len(self._queue) >= self._COMPACT_MIN_SIZE and live < len(self._queue) // 2:
+            self.compact()
 
     @property
     def processed(self) -> int:

@@ -24,6 +24,18 @@ def make_rng(seed: int | None = None) -> np.random.Generator:
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
+def derive_seed(base_seed: int, *keys: int) -> int:
+    """Derive a deterministic child seed from ``base_seed`` and ``keys``.
+
+    Sweeps use this to give every grid point an independent, reproducible
+    RNG stream: ``derive_seed(sweep_seed, point_key)`` depends only on its
+    inputs, so a sweep point computed in a worker process gets exactly the
+    same seed as the same point computed serially or in a later re-run.
+    """
+    sequence = np.random.SeedSequence([int(base_seed), *(int(key) for key in keys)])
+    return int(sequence.generate_state(1, np.uint64)[0] % (2**63 - 1))
+
+
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 

@@ -1,0 +1,121 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2c", "fig3a", "fig3b", "fig3c", "fig9",
+                     "fig10a", "fig10b", "fig10c", "functionality"):
+            assert name in out
+
+    def test_json_listing(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 10
+        fig3c = next(entry for entry in payload if entry["name"] == "fig3c")
+        assert "peer_count" in fig3c["config_fields"]
+        assert "rtbh" in fig3c["aliases"]
+
+
+class TestRun:
+    def test_run_with_overrides_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "out.json"
+        code = main([
+            "run", "fig10a", "--samples-per-rate", "5", "--seed", "42",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "samples_per_rate=5" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["config"]["samples_per_rate"] == 5
+        assert payload["config"]["seed"] == 42
+        assert payload["summary"]["slope_percent_per_update"] > 0
+
+    def test_run_by_alias_with_quick(self, capsys):
+        assert main(["run", "scaling", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "summary:" in out
+
+    def test_equals_style_options(self, capsys):
+        assert main(["run", "fig10a", "--samples-per-rate=5"]) == 0
+        assert "samples_per_rate=5" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_unknown_option_fails(self):
+        with pytest.raises(SystemExit, match="unknown option"):
+            main(["run", "fig9", "--bogus", "1"])
+
+    def test_missing_value_fails(self):
+        with pytest.raises(SystemExit, match="needs a value"):
+            main(["run", "fig10a", "--samples-per-rate"])
+
+    def test_bad_int_value_fails(self):
+        with pytest.raises(SystemExit, match="invalid value"):
+            main(["run", "fig10a", "--samples-per-rate", "many"])
+
+    def test_scientific_notation_for_int_fields(self, capsys):
+        # announcement_count is an int field; 2e3 should be accepted.
+        assert main(["run", "fig3b", "--announcement-count", "2e3",
+                     "--member-count", "60"]) == 0
+        assert "announcement_count=2000" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_grid_with_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        args = [
+            "sweep", "fig10a", "--grid", "samples_per_rate=4,6",
+            "--store", str(store_dir), "--quick",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s), 0 cached" in out
+
+        assert main(args) == 0
+        assert "2 cached" in capsys.readouterr().out
+
+    def test_sweep_json_output(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "fig10a", "--grid", "samples-per-rate=4,6",
+            "--seed-base", "7", "--json", str(out_path), "--quick",
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "fig10a"
+        assert len(payload["results"]) == 2
+        seeds = [point["seed"] for point in payload["points"]]
+        assert len(set(seeds)) == 2  # per-point derived seeds
+
+    def test_sweep_seed_is_a_config_override_not_seed_base(self, capsys, tmp_path):
+        # --seed must reach the config (no argparse abbreviation to --seed-base).
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "fig10a", "--grid", "samples_per_rate=4,6",
+            "--seed", "7", "--json", str(out_path), "--quick",
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert all(point["seed"] == 7 for point in payload["points"])
+
+    def test_sweep_rejects_sequence_valued_grid_field(self):
+        with pytest.raises(SystemExit, match="sequence-valued"):
+            main(["sweep", "fig10b", "--quick", "--grid", "dequeue_rates=4,5"])
+
+    def test_sweep_bad_grid_spec_fails(self):
+        with pytest.raises(SystemExit, match="field=v1,v2"):
+            main(["sweep", "fig10a", "--grid", "nonsense"])
+
+    def test_sweep_unknown_grid_field_fails(self):
+        with pytest.raises(SystemExit, match="unknown grid field"):
+            main(["sweep", "fig10a", "--grid", "bogus=1,2"])

@@ -156,3 +156,56 @@ class TestSimulationEngine:
         engine.run()
         assert fired == ["first", "second"]
         assert engine.clock.now == 2.0
+
+
+class TestCancelledEventEviction:
+    def test_pending_counts_only_live_events(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(i + 1.0, lambda: None) for i in range(5)]
+        events[2].cancel()
+        events[4].cancel()
+        assert engine.pending == 3
+
+    def test_non_top_cancelled_events_are_evicted_by_compact(self):
+        engine = SimulationEngine()
+        keeper = engine.schedule(1.0, lambda: None)
+        # Far-future events cancelled while a near event keeps them off the
+        # top of the heap: step/peek alone would never evict them.
+        cancelled = [engine.schedule(100.0 + i, lambda: None) for i in range(10)]
+        for event in cancelled:
+            event.cancel()
+        removed = engine.compact()
+        assert removed == 10
+        assert engine.pending == 1
+        assert engine._queue == [keeper]
+
+    def test_pending_auto_compacts_mostly_cancelled_heap(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        cancelled = [engine.schedule(100.0 + i, lambda: None) for i in range(20)]
+        for event in cancelled:
+            event.cancel()
+        assert engine.pending == 1
+        assert len(engine._queue) == 1  # corpses were evicted, not just skipped
+
+    def test_heavy_schedule_cancel_churn_does_not_grow_heap(self):
+        engine = SimulationEngine()
+        for i in range(5000):
+            event = engine.schedule(1000.0 + i, lambda: None)
+            event.cancel()
+            if i % 100 == 0:
+                engine.pending  # a monitoring read, as a real driver would do
+        assert engine.pending == 0
+        assert len(engine._queue) < 1000
+
+    def test_compact_preserves_firing_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        doomed = engine.schedule(2.0, lambda: fired.append("x"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.5, lambda: fired.append("b"))
+        doomed.cancel()
+        engine.compact()
+        engine.run()
+        assert fired == ["a", "b", "c"]
