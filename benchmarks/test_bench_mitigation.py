@@ -1,0 +1,218 @@
+"""Columnar mitigation data plane vs. the per-record compatibility path.
+
+Two benches quantify the tentpole claim of the columnar port:
+
+* ``test_bench_columnar_speedup_100k`` applies all five strategies (RTBH,
+  ACL, Flowspec, scrubbing, combined) to a single 100k-flow observation
+  interval through ``apply_table`` and through ``apply_records`` and
+  asserts the columnar plane is at least 5× faster in aggregate.
+* ``test_bench_mitigation_sweep_16pt`` runs a 16-point reflector-count ×
+  attack-rate grid (the shape an operator sweep produces) through both
+  paths and prints the per-point speedup.
+
+Both paths are parity-tested elsewhere (tests/mitigation/test_columnar_parity.py);
+here only the clock differs.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.bgp.flowspec import drop_rule, rate_limit_rule
+from repro.core.rules import BlackholingRule
+from repro.mitigation import (
+    AccessControlList,
+    AclMitigation,
+    CombinedMitigation,
+    FlowspecMitigation,
+    FlowspecService,
+    RtbhMitigation,
+    RtbhService,
+    ScrubbingMitigation,
+)
+from repro.traffic import (
+    AmplificationAttack,
+    BenignTrafficSource,
+    FlowTable,
+    IpProtocol,
+    get_vector,
+)
+
+VICTIM_IP = "100.10.10.10"
+VICTIM_PREFIX = f"{VICTIM_IP}/32"
+VICTIM_ASN = 64500
+PEER_ASNS = [65000 + i for i in range(40)]
+INTERVAL = 10.0
+
+
+def build_interval_table(reflector_count: int, attack_rate_bps: float, seed: int = 3):
+    """One observation interval of amplification + benign traffic."""
+    attack = AmplificationAttack(
+        victim_ip=VICTIM_IP,
+        vector=get_vector("ntp"),
+        peak_rate_bps=attack_rate_bps,
+        start=0.0,
+        duration=60.0,
+        ingress_member_asns=PEER_ASNS,
+        victim_member_asn=VICTIM_ASN,
+        reflector_count=reflector_count,
+        ramp_seconds=0.0,
+        seed=seed,
+    )
+    benign = BenignTrafficSource(
+        dst_ip=VICTIM_IP,
+        egress_member_asn=VICTIM_ASN,
+        ingress_member_asns=PEER_ASNS[:5],
+        rate_bps=attack_rate_bps / 20,
+        client_count=max(50, reflector_count // 3),
+        seed=seed + 1,
+    )
+    return FlowTable.concat(
+        [attack.flow_table(30.0, INTERVAL), benign.flow_table(30.0, INTERVAL)]
+    )
+
+
+def strategy_factories(seed: int = 9):
+    """``(name, factory)`` pairs; each call builds a fresh, equally-seeded
+    instance so the record and table paths consume identical RNG streams."""
+
+    def rtbh():
+        service = RtbhService(ixp_asn=64700, compliance_rate=0.3, seed=seed)
+        service.request_blackhole(VICTIM_ASN, VICTIM_PREFIX, PEER_ASNS)
+        return RtbhMitigation(service)
+
+    def acl():
+        entries = AccessControlList()
+        entries.deny(VICTIM_PREFIX, protocol=IpProtocol.UDP, src_port=123)
+        return AclMitigation(entries)
+
+    def flowspec():
+        service = FlowspecService(acceptance_rate=0.5, seed=seed)
+        service.announce_rule(
+            drop_rule(VICTIM_PREFIX, source_port=123, ip_protocol=int(IpProtocol.UDP)),
+            PEER_ASNS,
+        )
+        service.announce_rule(rate_limit_rule(VICTIM_PREFIX, 1e6), PEER_ASNS)
+        return FlowspecMitigation(service)
+
+    def scrubbing():
+        return ScrubbingMitigation(active_since=-1e9, seed=seed)
+
+    def combined():
+        rules = [
+            BlackholingRule.drop_udp_source_port(VICTIM_ASN, VICTIM_PREFIX, 123),
+            BlackholingRule.shape_udp_source_port(
+                VICTIM_ASN, VICTIM_PREFIX, 53, rate_bps=1e6
+            ),
+        ]
+        return CombinedMitigation(rules, ScrubbingMitigation(active_since=-1e9, seed=seed))
+
+    return [
+        ("RTBH", rtbh),
+        ("ACL", acl),
+        ("Flowspec", flowspec),
+        ("Scrubbing", scrubbing),
+        ("Combined", combined),
+    ]
+
+
+def time_both_paths(table, records):
+    """Per-strategy wall clock of ``apply_records`` vs. ``apply_table``."""
+    timings = []
+    for name, factory in strategy_factories():
+        start = time.perf_counter()
+        factory().apply_records(records, INTERVAL)
+        record_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        factory().apply_table(table, INTERVAL)
+        table_seconds = time.perf_counter() - start
+        timings.append((name, record_seconds, table_seconds))
+    return timings
+
+
+def test_bench_columnar_speedup_100k(benchmark):
+    table = build_interval_table(reflector_count=80_000, attack_rate_bps=40e9)
+    assert len(table) >= 100_000, f"interval has only {len(table)} flows"
+    records = table.to_records()
+
+    timings = time_both_paths(table, records)
+
+    def columnar_pass():
+        for _, factory in strategy_factories():
+            factory().apply_table(table, INTERVAL)
+
+    benchmark.pedantic(columnar_pass, rounds=1)
+
+    record_total = sum(record for _, record, _ in timings)
+    table_total = sum(tab for _, _, tab in timings)
+    rows = [("strategy", "record [ms]", "table [ms]", "speedup")]
+    for name, record_seconds, table_seconds in timings:
+        rows.append(
+            (
+                name,
+                f"{record_seconds * 1e3:.1f}",
+                f"{table_seconds * 1e3:.1f}",
+                f"{record_seconds / table_seconds:.1f}x",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            f"{record_total * 1e3:.1f}",
+            f"{table_total * 1e3:.1f}",
+            f"{record_total / table_total:.1f}x",
+        )
+    )
+    print_table(f"Columnar vs. record mitigation, {len(table)} flows", rows)
+
+    speedup = record_total / table_total
+    assert speedup >= 5.0, (
+        f"expected >= 5x columnar speedup on a {len(table)}-flow interval, "
+        f"got {speedup:.1f}x"
+    )
+
+
+def test_bench_mitigation_sweep_16pt(benchmark):
+    # A 4 x 4 operator-style grid: attack size x attack rate.
+    grid = [
+        (reflectors, rate)
+        for reflectors in (5_000, 10_000, 20_000, 40_000)
+        for rate in (5e9, 10e9, 20e9, 40e9)
+    ]
+    points = [
+        (reflectors, rate, build_interval_table(reflectors, rate, seed=3 + index))
+        for index, (reflectors, rate) in enumerate(grid)
+    ]
+
+    def columnar_sweep():
+        for _, _, table in points:
+            for _, factory in strategy_factories():
+                factory().apply_table(table, INTERVAL)
+
+    benchmark.pedantic(columnar_sweep, rounds=1)
+
+    rows = [("point", "flows", "record [ms]", "table [ms]", "speedup")]
+    record_total = 0.0
+    table_total = 0.0
+    for reflectors, rate, table in points:
+        records = table.to_records()
+        timings = time_both_paths(table, records)
+        record_seconds = sum(record for _, record, _ in timings)
+        table_seconds = sum(tab for _, _, tab in timings)
+        record_total += record_seconds
+        table_total += table_seconds
+        rows.append(
+            (
+                f"{reflectors // 1000}k x {rate / 1e9:.0f}G",
+                str(len(table)),
+                f"{record_seconds * 1e3:.1f}",
+                f"{table_seconds * 1e3:.1f}",
+                f"{record_seconds / table_seconds:.1f}x",
+            )
+        )
+    speedup = record_total / table_total
+    rows.append(("TOTAL", "", f"{record_total * 1e3:.1f}", f"{table_total * 1e3:.1f}",
+                 f"{speedup:.1f}x"))
+    print_table("16-point mitigation sweep, columnar vs. record", rows)
+    assert speedup >= 3.0, f"expected columnar speedup across the sweep, got {speedup:.1f}x"

@@ -182,7 +182,15 @@ class Stellar:
         interval: float,
         interval_start: Optional[float] = None,
     ) -> StellarIntervalReport:
-        """Process one observation interval: control plane first, then traffic."""
+        """Process one observation interval: control plane first, then traffic.
+
+        The data plane is columnar: record sequences are ingested into a
+        :class:`FlowTable` up front, so the fabric and per-port QoS
+        classification always take the vectorized path regardless of the
+        caller's representation.
+        """
+        if not isinstance(flows, FlowTable):
+            flows = FlowTable.from_records(flows)
         start = self._now if interval_start is None else interval_start
         if interval_start is not None:
             self.advance_to(interval_start)

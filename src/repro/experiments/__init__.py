@@ -15,13 +15,29 @@ Fig. 10(c)    :mod:`repro.experiments.stellar_attack`
 §5.2 lab      :mod:`repro.experiments.functionality`
 ===========  ==========================================================
 
-All ten drivers are registered in :mod:`repro.experiments.registry`; the
+Beyond the paper's artefacts, :mod:`repro.experiments.attack_scenarios`
+adds the scenario-diversity experiments (``pulse``, ``carpet``,
+``multivector``) built on the attack variants in
+:mod:`repro.traffic.attack_variants`.
+
+All drivers are registered in :mod:`repro.experiments.registry`; the
 shared event-driven runner lives in :mod:`repro.experiments.harness`, the
 sweep/parallel layer in :mod:`repro.experiments.sweep`, and uniform result
 serialization plus the artifact store in :mod:`repro.experiments.results`.
 The ``python -m repro`` CLI is the user-facing entry point to all of it.
 """
 
+from .attack_scenarios import (
+    CarpetBombingConfig,
+    CarpetBombingResult,
+    MultiVectorConfig,
+    MultiVectorResult,
+    PulseAttackConfig,
+    PulseAttackResult,
+    run_carpet_bombing_experiment,
+    run_multi_vector_experiment,
+    run_pulse_attack_experiment,
+)
 from .change_queueing import (
     ChangeQueueingConfig,
     ChangeQueueingResult,
@@ -87,6 +103,15 @@ from .table1 import (
 )
 
 __all__ = [
+    "CarpetBombingConfig",
+    "CarpetBombingResult",
+    "MultiVectorConfig",
+    "MultiVectorResult",
+    "PulseAttackConfig",
+    "PulseAttackResult",
+    "run_carpet_bombing_experiment",
+    "run_multi_vector_experiment",
+    "run_pulse_attack_experiment",
     "ChangeQueueingConfig",
     "ChangeQueueingResult",
     "generate_change_arrivals",

@@ -1,10 +1,11 @@
-"""Declarative registry of the paper's ten experiments.
+"""Declarative registry of the experiments.
 
-Each table/figure of the evaluation is described by an
-:class:`ExperimentSpec` — its config dataclass, runner, paper reference and
-the overrides that make a quick smoke run cheap — so the CLI, the sweep
-layer and the tests can enumerate, configure and run every experiment
-uniformly instead of importing ten ad-hoc driver functions.
+Each table/figure of the paper's evaluation — plus the scenario-diversity
+experiments added on top — is described by an :class:`ExperimentSpec`: its
+config dataclass, runner, paper reference and the overrides that make a
+quick smoke run cheap.  The CLI, the sweep layer and the tests enumerate,
+configure and run every experiment uniformly instead of importing ad-hoc
+driver functions.
 """
 
 from __future__ import annotations
@@ -13,6 +14,14 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from .attack_scenarios import (
+    CarpetBombingConfig,
+    MultiVectorConfig,
+    PulseAttackConfig,
+    run_carpet_bombing_experiment,
+    run_multi_vector_experiment,
+    run_pulse_attack_experiment,
+)
 from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
 from .collateral_damage import CollateralDamageConfig, run_collateral_damage_experiment
 from .cpu_update_rate import CpuUpdateRateConfig, run_cpu_update_rate_experiment
@@ -223,5 +232,43 @@ register(
         runner=run_functionality_experiment,
         aliases=("lab", "sec5.2"),
         quick_overrides={"target_ip_count": 2, "peer_count": 3},
+    )
+)
+
+# ----------------------------------------------------------------------
+# Scenario-diversity experiments beyond the paper's artefacts
+# (docs/SCENARIOS.md catalogues all of them).
+# ----------------------------------------------------------------------
+register(
+    ExperimentSpec(
+        name="pulse",
+        figure="scenario",
+        title="Pulse-wave (on/off burst) attack against classic RTBH",
+        config_cls=PulseAttackConfig,
+        runner=run_pulse_attack_experiment,
+        aliases=("pulse-attack", "pulse_attack"),
+        quick_overrides={"duration": 500.0, "peer_count": 12},
+    )
+)
+register(
+    ExperimentSpec(
+        name="carpet",
+        figure="scenario",
+        title="Carpet-bombing attack spread over a prefix vs. /32 blackholing",
+        config_cls=CarpetBombingConfig,
+        runner=run_carpet_bombing_experiment,
+        aliases=("carpet-bombing", "carpet_bombing"),
+        quick_overrides={"duration": 500.0, "peer_count": 12},
+    )
+)
+register(
+    ExperimentSpec(
+        name="multivector",
+        figure="scenario",
+        title="Multi-vector amplification attack, one Stellar rule per vector",
+        config_cls=MultiVectorConfig,
+        runner=run_multi_vector_experiment,
+        aliases=("multi-vector", "multi_vector"),
+        quick_overrides={"duration": 700.0, "peer_count": 12},
     )
 )

@@ -13,12 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..analysis.timeseries import AttackTimeSeries, record_delivery
+from ..analysis.timeseries import AttackTimeSeries
 from ..mitigation.rtbh import RtbhMitigation
-from ..traffic.flow import distinct_ingress_members
 from .harness import SteppedExperiment
 from .results import JsonResultMixin
-from .scenario import AttackScenario, build_attack_scenario
+from .scenario import (
+    AttackScenario,
+    build_attack_scenario,
+    make_delivery_step,
+    signal_host_blackhole,
+)
 
 
 @dataclass
@@ -128,35 +132,10 @@ def run_rtbh_attack_experiment(
     blackhole_events: List = []
 
     def signal_blackhole() -> None:
-        blackhole_events.append(
-            scenario.rtbh.request_blackhole(
-                victim_asn=scenario.victim.asn,
-                prefix=f"{scenario.victim_ip}/32",
-                peer_asns=scenario.peer_asns,
-                time=harness.now,
-            )
-        )
+        blackhole_events.append(signal_host_blackhole(scenario, time=harness.now))
 
     harness.at(config.blackhole_time, signal_blackhole, name="rtbh-signalled")
-
-    def step(t: float, interval: float) -> None:
-        flows = scenario.attack.flows(t, interval) + scenario.benign.flows(t, interval)
-        outcome = mitigation.apply(flows, interval)
-        delivered_flows = outcome.delivered + outcome.shaped
-        peers = distinct_ingress_members(
-            flow for flow in delivered_flows if flow.bytes > 0
-        )
-        record_delivery(
-            series,
-            time=t,
-            interval=interval,
-            delivered_bits=sum(flow.bits for flow in delivered_flows),
-            attack_bits=sum(flow.bits for flow in delivered_flows if flow.is_attack),
-            peer_count=len(peers),
-            discarded_bits=outcome.discarded_bits,
-        )
-
-    harness.run(step)
+    harness.run(make_delivery_step(scenario, mitigation, series))
 
     honoring = len(blackhole_events[0].honoring_members) if blackhole_events else 0
     return RtbhAttackResult(

@@ -6,20 +6,34 @@ member (the experimental AS of the paper) and a population of peer members
 through which attack and legitimate traffic arrives.  :func:`build_attack_scenario`
 assembles the fabric, the Stellar deployment and the traffic sources so the
 drivers only differ in which mitigation they trigger and when.
+
+``attack_kind`` selects the traffic generator: the paper's controlled
+``"booter"`` experiment, or one of the scenario-diversity variants from
+:mod:`repro.traffic.attack_variants` (``"pulse"``, ``"carpet"``,
+``"multivector"``), each sharing the same IXP/member/benign scaffolding so
+every mitigation driver can run against every attack shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence, Union
 
+from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.stellar import Stellar
 from ..ixp.edge_router import EdgeRouter
 from ..ixp.fabric import SwitchingFabric
 from ..ixp.hardware_profiles import l_ixp_edge_router_profile
 from ..ixp.member import IxpMember
-from ..mitigation.rtbh import RtbhService
+from ..mitigation.base import MitigationTechnique
+from ..mitigation.rtbh import BlackholeEvent, RtbhService
+from ..traffic.attack_variants import (
+    CarpetBombingAttack,
+    MultiVectorAttack,
+    PulseAttack,
+)
 from ..traffic.attacks import BenignTrafficSource, BooterAttack
+from ..traffic.flowtable import FlowTable
 
 #: ASN used for the IXP's route server / management AS (a 16-bit private ASN
 #: so the extended-community encoding applies).
@@ -32,6 +46,14 @@ DEFAULT_VICTIM_ASN = 64500
 DEFAULT_VICTIM_IP = "100.10.10.10"
 
 
+#: Any of the attack generators a scenario can carry; all expose the same
+#: ``flow_table`` / ``flows`` / ``rate_at`` interface.
+AttackSource = Union[BooterAttack, PulseAttack, CarpetBombingAttack, MultiVectorAttack]
+
+#: Attack kinds :func:`build_attack_scenario` knows how to build.
+ATTACK_KINDS = ("booter", "pulse", "carpet", "multivector")
+
+
 @dataclass
 class AttackScenario:
     """Everything an attack experiment needs."""
@@ -40,7 +62,7 @@ class AttackScenario:
     fabric: SwitchingFabric
     victim: IxpMember
     peers: List[IxpMember]
-    attack: BooterAttack
+    attack: AttackSource
     benign: BenignTrafficSource
     rtbh: RtbhService
     victim_ip: str = DEFAULT_VICTIM_IP
@@ -48,6 +70,57 @@ class AttackScenario:
     @property
     def peer_asns(self) -> List[int]:
         return [peer.asn for peer in self.peers]
+
+
+def signal_host_blackhole(
+    scenario: AttackScenario, time: float = 0.0
+) -> BlackholeEvent:
+    """The victim's classic reflex: an RTBH /32 for the attacked host.
+
+    Shared by every RTBH-reacting driver (fig3c, pulse, carpet) so the
+    signalling convention lives in one place.
+    """
+    return scenario.rtbh.request_blackhole(
+        victim_asn=scenario.victim.asn,
+        prefix=f"{scenario.victim_ip}/32",
+        peer_asns=scenario.peer_asns,
+        time=time,
+    )
+
+
+def make_delivery_step(
+    scenario: AttackScenario,
+    mitigation: MitigationTechnique,
+    series: AttackTimeSeries,
+    on_attack_table: Optional[Callable[[FlowTable], None]] = None,
+) -> Callable[[float, float], None]:
+    """The shared per-interval data-plane step of the baseline attack drivers.
+
+    Generates one columnar batch (attack + benign), applies ``mitigation``
+    through the table path, and records the outcome's delivery accounting.
+    ``on_attack_table`` lets a driver observe the raw attack batch (e.g.
+    carpet bombing's target-spread bookkeeping) before mitigation.
+    """
+
+    def step(t: float, interval: float) -> None:
+        attack_table = scenario.attack.flow_table(t, interval)
+        if on_attack_table is not None:
+            on_attack_table(attack_table)
+        flows = FlowTable.concat(
+            [attack_table, scenario.benign.flow_table(t, interval)]
+        )
+        outcome = mitigation.apply(flows, interval)
+        record_delivery(
+            series,
+            time=t,
+            interval=interval,
+            delivered_bits=outcome.delivered_bits,
+            attack_bits=outcome.delivered_attack_bits,
+            peer_count=len(outcome.delivered_peers),
+            discarded_bits=outcome.discarded_bits,
+        )
+
+    return step
 
 
 def build_attack_scenario(
@@ -64,15 +137,31 @@ def build_attack_scenario(
     victim_asn: int = DEFAULT_VICTIM_ASN,
     victim_ip: str = DEFAULT_VICTIM_IP,
     seed: int = 7,
+    attack_kind: str = "booter",
+    pulse_period_seconds: float = 60.0,
+    pulse_duty_cycle: float = 0.5,
+    victim_prefix: str = "100.10.10.0/24",
+    attack_vectors: "Sequence[str] | str" = ("ntp", "memcached", "chargen"),
 ) -> AttackScenario:
-    """Build the controlled booter-attack scenario of §2.4 / §5.3.
+    """Build the controlled attack scenario of §2.4 / §5.3.
 
     The victim is the paper's experimental AS: it peers with every other
     member via the route server, owns a /24 (with the attacked /32 inside),
     and has a ``victim_port_capacity_bps`` port at the IXP.
+
+    ``attack_kind`` swaps the attack generator while keeping the IXP and
+    benign scaffolding identical: ``"booter"`` (the paper's experiment),
+    ``"pulse"`` (on/off bursts, configured by ``pulse_period_seconds`` /
+    ``pulse_duty_cycle``), ``"carpet"`` (destinations spread over
+    ``victim_prefix``) or ``"multivector"`` (one amplification source per
+    name in ``attack_vectors``).
     """
     if peer_count < 2:
         raise ValueError("the scenario needs at least two peers")
+    if attack_kind not in ATTACK_KINDS:
+        raise ValueError(
+            f"unknown attack_kind {attack_kind!r}; known: {', '.join(ATTACK_KINDS)}"
+        )
 
     fabric = SwitchingFabric(name="l-ixp")
     fabric.add_edge_router(
@@ -94,16 +183,54 @@ def build_attack_scenario(
     stellar.add_member(victim)
     stellar.add_members(peers)
 
-    attack = BooterAttack(
-        victim_ip=victim_ip,
-        victim_member_asn=victim_asn,
-        peer_member_asns=[peer.asn for peer in peers],
-        peak_rate_bps=attack_peak_bps,
-        start=attack_start,
-        duration=attack_duration,
-        vector_name=vector_name,
-        seed=seed,
-    )
+    peer_asns = [peer.asn for peer in peers]
+    attack: AttackSource
+    if attack_kind == "pulse":
+        attack = PulseAttack(
+            victim_ip=victim_ip,
+            victim_member_asn=victim_asn,
+            ingress_member_asns=peer_asns,
+            peak_rate_bps=attack_peak_bps,
+            start=attack_start,
+            duration=attack_duration,
+            period_seconds=pulse_period_seconds,
+            duty_cycle=pulse_duty_cycle,
+            vector_name=vector_name,
+            seed=seed,
+        )
+    elif attack_kind == "carpet":
+        attack = CarpetBombingAttack(
+            victim_prefix=victim_prefix,
+            victim_member_asn=victim_asn,
+            ingress_member_asns=peer_asns,
+            peak_rate_bps=attack_peak_bps,
+            start=attack_start,
+            duration=attack_duration,
+            vector_name=vector_name,
+            seed=seed,
+        )
+    elif attack_kind == "multivector":
+        attack = MultiVectorAttack(
+            victim_ip=victim_ip,
+            victim_member_asn=victim_asn,
+            ingress_member_asns=peer_asns,
+            peak_rate_bps=attack_peak_bps,
+            start=attack_start,
+            duration=attack_duration,
+            vectors=attack_vectors,
+            seed=seed,
+        )
+    else:
+        attack = BooterAttack(
+            victim_ip=victim_ip,
+            victim_member_asn=victim_asn,
+            peer_member_asns=peer_asns,
+            peak_rate_bps=attack_peak_bps,
+            start=attack_start,
+            duration=attack_duration,
+            vector_name=vector_name,
+            seed=seed,
+        )
     benign = BenignTrafficSource(
         dst_ip=victim_ip,
         egress_member_asn=victim_asn,

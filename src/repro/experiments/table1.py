@@ -16,7 +16,7 @@ from typing import Dict, List
 from ..analysis.collateral import collateral_damage
 from ..bgp.flowspec import drop_rule
 from ..mitigation.acl import AccessControlList, AclMitigation
-from ..mitigation.base import Dimension, MitigationTechnique, Rating
+from ..mitigation.base import Dimension, MitigationTechnique, Rating, flows_bits
 from ..mitigation.comparison import (
     PAPER_TABLE_1,
     ComparisonTable,
@@ -25,6 +25,7 @@ from ..mitigation.comparison import (
 from ..mitigation.flowspec import FlowspecMitigation, FlowspecService
 from ..mitigation.rtbh import RtbhMitigation, RtbhService
 from ..mitigation.scrubbing import ScrubbingMitigation
+from ..traffic.flowtable import FlowTable
 from ..traffic.packet import IpProtocol
 from .results import JsonResultMixin
 from .scenario import build_attack_scenario
@@ -40,7 +41,7 @@ class AdvancedBlackholingRatings(MitigationTechnique):
     name = "Advanced Blackholing"
     ratings = dict(PAPER_TABLE_1["Advanced Blackholing"])
 
-    def apply(self, flows, interval):  # pragma: no cover - not used
+    def apply_table(self, table, interval):  # pragma: no cover - not used
         raise NotImplementedError("use the Stellar facade for quantitative runs")
 
 
@@ -105,11 +106,17 @@ def run_table1_experiment(config: Table1Config | None = None) -> Table1Result:
 
 
 def run_quantitative_comparison(seed: int = 19) -> QuantitativeComparisonResult:
-    """Apply each baseline to the same attack interval and compare outcomes."""
+    """Apply each baseline to the same attack interval and compare outcomes.
+
+    Every technique is applied through its columnar ``apply_table`` path;
+    the interval's traffic is one :class:`FlowTable` batch.
+    """
     scenario = build_attack_scenario(peer_count=30, seed=seed)
     interval = 10.0
     t = 300.0
-    flows = scenario.attack.flows(t, interval) + scenario.benign.flows(t, interval)
+    flows = FlowTable.concat(
+        [scenario.attack.flow_table(t, interval), scenario.benign.flow_table(t, interval)]
+    )
     victim_prefix = f"{scenario.victim_ip}/32"
     peer_asns = scenario.peer_asns
 
@@ -149,10 +156,10 @@ def run_quantitative_comparison(seed: int = 19) -> QuantitativeComparisonResult:
     stellar.process_control_plane(now=t)
     report = stellar.deliver_traffic(flows, interval, interval_start=t)
     result = report.fabric_report.results_by_member[scenario.victim.asn]
-    attack_total = sum(flow.bits for flow in flows if flow.is_attack)
-    legit_total = sum(flow.bits for flow in flows if not flow.is_attack)
-    attack_delivered = sum(flow.bits for flow in result.forwarded if flow.is_attack)
-    legit_dropped = sum(flow.bits for flow in result.dropped if not flow.is_attack)
+    attack_total = flows_bits(flows, attack=True)
+    legit_total = flows_bits(flows, attack=False)
+    attack_delivered = flows_bits(result.forwarded_table, attack=True)
+    legit_dropped = flows_bits(result.dropped_table, attack=False)
     residual["Advanced Blackholing"] = (
         attack_delivered / attack_total if attack_total else 0.0
     )

@@ -10,6 +10,11 @@ from IXP-side Advanced Blackholing in the model:
 * the number of ACL entries a border router can hold is limited, and the
   filters must be configured manually per device, which is what the
   "limited scalability / demand for customization" drawback captures.
+
+The data plane is columnar: ``AclMitigation.apply_table`` evaluates the
+ordered entry list as one vectorized mask per entry (first match wins,
+implicit permit at the end), with the per-flow ``evaluate`` loop kept as
+the ``apply_records`` compatibility shim.
 """
 
 from __future__ import annotations
@@ -17,10 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..bgp.prefix import Prefix, parse_prefix
 from ..traffic.flow import FlowRecord
+from ..traffic.flowtable import FlowTable
 from ..traffic.packet import IpProtocol
-from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
+from .base import (
+    Dimension,
+    MitigationOutcome,
+    MitigationTechnique,
+    Rating,
+    match_mask,
+)
 
 
 @dataclass(frozen=True)
@@ -54,6 +68,17 @@ class AclEntry:
         if self.dst_port is not None and flow.dst_port != self.dst_port:
             return False
         return True
+
+    def matches_table(self, table: FlowTable) -> np.ndarray:
+        """Vectorized :meth:`matches` over a columnar flow batch."""
+        return match_mask(
+            table,
+            dst_prefix=self.dst_prefix,
+            src_prefix=self.src_prefix,
+            protocol=None if self.protocol is None else int(self.protocol),
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+        )
 
 
 class AccessControlList:
@@ -91,6 +116,23 @@ class AccessControlList:
                 return entry.action
         return "permit"
 
+    def deny_mask(self, table: FlowTable) -> np.ndarray:
+        """Vectorized :meth:`evaluate`: the rows the ACL denies.
+
+        First match wins per row; rows no entry matches fall through to the
+        implicit permit.
+        """
+        denied = np.zeros(len(table), dtype=bool)
+        unmatched = np.ones(len(table), dtype=bool)
+        for entry in self._entries:
+            if not unmatched.any():
+                break
+            matched = unmatched & entry.matches_table(table)
+            if entry.action == "deny":
+                denied |= matched
+            unmatched &= ~matched
+        return denied
+
 
 class AclMitigation(MitigationTechnique):
     """ACL filtering at the victim's border router.
@@ -120,7 +162,17 @@ class AclMitigation(MitigationTechnique):
         self.acl = acl if acl is not None else AccessControlList()
         self.filters_after_port = filters_after_port
 
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
+    def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
+        """Vectorized ACL evaluation: one ordered mask pass over the table."""
+        denied = self.acl.deny_mask(table)
+        return MitigationOutcome(
+            delivered_table=table.select(~denied),
+            discarded_table=table.select(denied),
+        )
+
+    def apply_records(
+        self, flows: Sequence[FlowRecord], interval: float
+    ) -> MitigationOutcome:
         outcome = MitigationOutcome()
         for flow in flows:
             if self.acl.evaluate(flow) == "deny":

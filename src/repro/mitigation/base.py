@@ -10,16 +10,97 @@ Quantitatively, every technique implements :class:`MitigationTechnique`:
 given the flows destined to a victim during one observation interval, it
 returns which flows are discarded, which are delivered, and which are
 passed on in reduced (shaped) form.
+
+The quantitative data plane is **columnar**: the canonical entry point is
+:meth:`MitigationTechnique.apply_table`, which partitions a
+:class:`~repro.traffic.flowtable.FlowTable` with vectorized prefix /
+protocol / port / member mask matching (the shared helpers below).  The
+classic per-:class:`~repro.traffic.flow.FlowRecord` loops survive as
+:meth:`MitigationTechnique.apply_records`, and :meth:`MitigationTechnique.apply`
+is the compatibility shim that dispatches on the input representation.
+``tests/mitigation/test_columnar_parity.py`` pins the two paths to
+identical outcomes per strategy.
 """
 
 from __future__ import annotations
 
 import abc
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
+from ..bgp.prefix import Prefix
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import FlowTable, ingress_peers, population_bits
+
+
+# ----------------------------------------------------------------------
+# Shared vectorized mask matching
+# ----------------------------------------------------------------------
+def prefix_mask(column: np.ndarray, prefix: Prefix) -> np.ndarray:
+    """Rows of an integer IPv4 address ``column`` that fall inside ``prefix``.
+
+    Prefix containment over a ``uint32`` address column is two integer
+    comparisons; non-IPv4 prefixes match nothing (``FlowTable`` stores IPv4
+    only, mirroring the scalar ``Prefix.contains_address`` version check).
+    """
+    if prefix.version != 4:
+        return np.zeros(len(column), dtype=bool)
+    low, high = prefix.int_bounds
+    return (column >= low) & (column <= high)
+
+
+def member_mask(column: np.ndarray, members: Iterable[int]) -> np.ndarray:
+    """Rows of a member-ASN ``column`` whose ASN is in ``members``."""
+    members = list(members)
+    if not members:
+        return np.zeros(len(column), dtype=bool)
+    return np.isin(column, np.fromiter(members, dtype=np.int64, count=len(members)))
+
+
+def match_mask(
+    table: FlowTable,
+    dst_prefix: Optional[Prefix] = None,
+    src_prefix: Optional[Prefix] = None,
+    protocol: Optional[int] = None,
+    src_port: Optional[int] = None,
+    dst_port: Optional[int] = None,
+    ingress_members: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Vectorized five-tuple (+ ingress member) match over a flow table.
+
+    ``None`` criteria match everything — the columnar equivalent of the
+    per-record matchers of the ACL / Flowspec / RTBH models.
+    """
+    mask = np.ones(len(table), dtype=bool)
+    if dst_prefix is not None:
+        mask &= prefix_mask(table.dst_ip, dst_prefix)
+    if src_prefix is not None:
+        mask &= prefix_mask(table.src_ip, src_prefix)
+    if protocol is not None:
+        mask &= table.protocol == int(protocol)
+    if src_port is not None:
+        mask &= table.src_port == src_port
+    if dst_port is not None:
+        mask &= table.dst_port == dst_port
+    if ingress_members is not None:
+        mask &= member_mask(table.ingress_asn, ingress_members)
+    return mask
+
+
+def flows_bits(
+    flows: "Sequence[FlowRecord] | FlowTable", attack: Optional[bool] = None
+) -> float:
+    """Total bits of a flow population in either representation.
+
+    The shared accounting used by the outcome properties, the combined
+    (pre-filter + scrubbing) pipeline and the cost-saving analysis, so no
+    caller hand-rolls ``sum(flow.bits ...)`` bookkeeping.
+    """
+    if isinstance(flows, FlowTable):
+        return population_bits(flows, None, attack=attack)
+    return population_bits(None, flows, attack=attack)
 
 
 class Rating(Enum):
@@ -146,7 +227,13 @@ class MitigationOutcome:
 
 
 class MitigationTechnique(abc.ABC):
-    """Base class for all mitigation techniques (baselines and Stellar)."""
+    """Base class for all mitigation techniques (baselines and Stellar).
+
+    The columnar :meth:`apply_table` is the canonical data-plane entry
+    point; :meth:`apply_records` is the per-record compatibility loop; and
+    :meth:`apply` is the thin shim that dispatches on the representation,
+    so existing callers keep working unchanged.
+    """
 
     #: Human-readable name used in tables and reports.
     name: str = "abstract"
@@ -155,8 +242,26 @@ class MitigationTechnique(abc.ABC):
     ratings: Dict[Dimension, Rating] = {}
 
     @abc.abstractmethod
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
-        """Apply the technique to one observation interval of victim traffic."""
+    def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
+        """Apply the technique to one columnar interval of victim traffic."""
+
+    def apply_records(
+        self, flows: Sequence[FlowRecord], interval: float
+    ) -> MitigationOutcome:
+        """Per-record path; defaults to round-tripping through the table.
+
+        Strategies that keep their original per-record loop override this;
+        the parity tests then pin it against :meth:`apply_table`.
+        """
+        return self.apply_table(FlowTable.from_records(flows), interval)
+
+    def apply(
+        self, flows: "Sequence[FlowRecord] | FlowTable", interval: float
+    ) -> MitigationOutcome:
+        """Compatibility shim: dispatch on the input representation."""
+        if isinstance(flows, FlowTable):
+            return self.apply_table(flows, interval)
+        return self.apply_records(flows, interval)
 
     def rating(self, dimension: Dimension) -> Rating:
         """The technique's rating for a dimension (NEUTRAL if unspecified)."""
@@ -174,9 +279,10 @@ class NoMitigation(MitigationTechnique):
     name = "none"
     ratings: Dict[Dimension, Rating] = {}
 
-    def apply(
-        self, flows: Union[Sequence[FlowRecord], FlowTable], interval: float
+    def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
+        return MitigationOutcome(delivered_table=table)
+
+    def apply_records(
+        self, flows: Sequence[FlowRecord], interval: float
     ) -> MitigationOutcome:
-        if isinstance(flows, FlowTable):
-            return MitigationOutcome(delivered_table=flows)
         return MitigationOutcome(delivered=list(flows))

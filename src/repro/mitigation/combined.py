@@ -7,7 +7,7 @@ bounded sample — is diverted to the expensive scrubbing centre.  This both
 reduces the scrubbing bill and frees scrubbing capacity for deep packet
 inspection of unknown attacks.
 
-:class:`CombinedMitigation` implements that pipeline over flow records:
+:class:`CombinedMitigation` implements that pipeline:
 
 1. a set of blackholing rules (pre-filters) is applied first — matching
    traffic is discarded (or shaped) at the IXP at no cost,
@@ -15,6 +15,13 @@ inspection of unknown attacks.
    instance, whose per-gigabyte cost is accounted,
 3. the result reports both the traffic outcome and the scrubbing cost, so
    the cost-saving claim of §6 can be quantified against scrubbing alone.
+
+The pipeline is columnar end to end: pre-filter rules are resolved as
+vectorized masks (most specific rule wins per row), the bounded shaping of
+a sampled residue is a per-row factor vector, and the remainder is handed
+to the scrubber as one :class:`~repro.traffic.flowtable.FlowTable` — in
+the same row order the per-record path scrubs in, so both paths draw the
+same classification verdicts per seed.
 """
 
 from __future__ import annotations
@@ -22,9 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+import numpy as np
+
 from ..core.rules import BlackholingRule, RuleAction
 from ..traffic.flow import FlowRecord
-from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
+from ..traffic.flowtable import FlowTable
+from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating, flows_bits
 from .scrubbing import ScrubbingMitigation
 
 
@@ -73,6 +83,14 @@ class CombinedMitigation(MitigationTechnique):
         """Add another IXP pre-filter (e.g. a signature learnt by the scrubber)."""
         self.prefilter_rules.append(rule)
 
+    def _rules_by_specificity(self) -> List[BlackholingRule]:
+        """Pre-filter rules, most specific first (stable among ties)."""
+        return sorted(
+            self.prefilter_rules,
+            key=lambda rule: rule.flow_match().specificity,
+            reverse=True,
+        )
+
     def _matching_rule(self, flow: FlowRecord) -> BlackholingRule | None:
         matching = [
             rule for rule in self.prefilter_rules if rule.flow_match().matches(flow)
@@ -83,11 +101,72 @@ class CombinedMitigation(MitigationTechnique):
 
     # ------------------------------------------------------------------
     def apply_detailed(
-        self, flows: Sequence[FlowRecord], interval: float
+        self, flows: "Sequence[FlowRecord] | FlowTable", interval: float
     ) -> CombinedOutcome:
         """Run the pipeline and report traffic outcome plus scrubbing cost."""
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if isinstance(flows, FlowTable):
+            return self._apply_detailed_table(flows, interval)
+        return self._apply_detailed_records(flows, interval)
+
+    def _apply_detailed_table(self, table: FlowTable, interval: float) -> CombinedOutcome:
+        """Columnar pipeline: masked pre-filters, then one scrubbing batch."""
+        n = len(table)
+        unassigned = np.ones(n, dtype=bool)
+        drop_mask = np.zeros(n, dtype=bool)
+        shape_mask = np.zeros(n, dtype=bool)
+        scale = np.ones(n, dtype=np.float64)
+        bits = table.bits
+        # Most specific rule first: each rule claims the rows no earlier
+        # (more specific) rule matched, mirroring the per-record winner pick.
+        for rule in self._rules_by_specificity():
+            if not unassigned.any():
+                break
+            matched = unassigned & rule.flow_match().matches_table(table)
+            if not matched.any():
+                continue
+            unassigned &= ~matched
+            if rule.action is RuleAction.DROP:
+                drop_mask |= matched
+            else:
+                # Shaped sample: the bounded residue continues to the scrubber
+                # (and ultimately the victim), the excess is dropped at the IXP.
+                budget_bits = rule.shape_rate_bps * interval
+                shape_mask |= matched
+                safe_bits = np.where(bits > 0, bits, 1)
+                scale = np.where(
+                    matched,
+                    np.where(bits > 0, np.minimum(1.0, budget_bits / safe_bits), 0.0),
+                    scale,
+                )
+
+        shaped = table.select(shape_mask).scaled_by(scale[shape_mask])
+        excess_mask = shape_mask & (scale < 1.0)
+        excess = table.select(excess_mask).scaled_by(1.0 - scale[excess_mask])
+        remaining = table.select(unassigned)
+        prefiltered = FlowTable.concat([table.select(drop_mask), excess])
+        # Scrub in the same row order the record path does: the untouched
+        # remainder first, then the shaped samples.
+        scrub_input = FlowTable.concat([remaining, shaped])
+
+        scrubbed_outcome = self.scrubbing.apply(scrub_input, interval)
+        discarded_tables = [prefiltered]
+        if scrubbed_outcome.discarded_table is not None:
+            discarded_tables.append(scrubbed_outcome.discarded_table)
+        else:
+            discarded_tables.append(FlowTable.from_records(scrubbed_outcome.discarded))
+        outcome = MitigationOutcome(
+            delivered_table=scrubbed_outcome.delivered_table,
+            discarded_table=FlowTable.concat(discarded_tables),
+            shaped_table=scrubbed_outcome.shaped_table,
+        )
+        return self._account(outcome, prefiltered, scrub_input)
+
+    def _apply_detailed_records(
+        self, flows: Sequence[FlowRecord], interval: float
+    ) -> CombinedOutcome:
+        """Per-record compatibility pipeline (parity-tested against the table path)."""
         prefiltered: List[FlowRecord] = []
         shaped: List[FlowRecord] = []
         remaining: List[FlowRecord] = []
@@ -98,22 +177,30 @@ class CombinedMitigation(MitigationTechnique):
             elif rule.action is RuleAction.DROP:
                 prefiltered.append(flow)
             else:
-                # Shaped sample: the bounded residue continues to the scrubber
-                # (and ultimately the victim), the excess is dropped at the IXP.
                 budget_bits = rule.shape_rate_bps * interval
                 scale = min(1.0, budget_bits / flow.bits) if flow.bits else 0.0
                 shaped.append(flow.scaled(scale))
                 if scale < 1.0:
                     prefiltered.append(flow.scaled(1.0 - scale))
 
-        scrubbed_outcome = self.scrubbing.apply(remaining + shaped, interval)
+        scrub_input = remaining + shaped
+        scrubbed_outcome = self.scrubbing.apply_records(scrub_input, interval)
         outcome = MitigationOutcome(
             delivered=scrubbed_outcome.delivered,
             discarded=prefiltered + scrubbed_outcome.discarded,
             shaped=scrubbed_outcome.shaped,
         )
-        prefiltered_bits = float(sum(flow.bits for flow in prefiltered))
-        scrubbed_bits = float(sum(flow.bits for flow in remaining + shaped))
+        return self._account(outcome, prefiltered, scrub_input)
+
+    def _account(
+        self,
+        outcome: MitigationOutcome,
+        prefiltered: "Sequence[FlowRecord] | FlowTable",
+        scrub_input: "Sequence[FlowRecord] | FlowTable",
+    ) -> CombinedOutcome:
+        """Shared outcome accounting for both pipeline representations."""
+        prefiltered_bits = flows_bits(prefiltered)
+        scrubbed_bits = flows_bits(scrub_input)
         cost = self.scrubbing.cost_of_interval(scrubbed_bits)
         self.total_scrubbing_cost += cost
         self.total_prefiltered_bits += prefiltered_bits
@@ -124,12 +211,17 @@ class CombinedMitigation(MitigationTechnique):
             scrubbing_cost=cost,
         )
 
-    def apply(self, flows: Sequence[FlowRecord], interval: float) -> MitigationOutcome:
-        return self.apply_detailed(flows, interval).outcome
+    def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
+        return self.apply_detailed(table, interval).outcome
+
+    def apply_records(
+        self, flows: Sequence[FlowRecord], interval: float
+    ) -> MitigationOutcome:
+        return self.apply_detailed(list(flows), interval).outcome
 
 
 def scrubbing_cost_saving(
-    flows: Sequence[FlowRecord],
+    flows: "Sequence[FlowRecord] | FlowTable",
     interval: float,
     prefilter_rules: Sequence[BlackholingRule],
     scrubbing: ScrubbingMitigation,
@@ -143,7 +235,7 @@ def scrubbing_cost_saving(
     combined = CombinedMitigation(prefilter_rules, scrubbing)
     combined_result = combined.apply_detailed(flows, interval)
 
-    alone_bits = float(sum(flow.bits for flow in flows))
+    alone_bits = flows_bits(flows)
     scrubbing_alone.apply(flows, interval)
     alone_cost = scrubbing_alone.cost_of_interval(alone_bits)
 

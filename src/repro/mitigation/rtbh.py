@@ -15,7 +15,10 @@ paper's measurement findings:
 
 The :class:`RtbhService` models the signalling/compliance side; the
 :class:`RtbhMitigation` technique applies the resulting per-ingress-member
-drop behaviour to traffic.
+drop behaviour to traffic.  The data plane is columnar: ``apply_table``
+resolves every active blackhole with one destination-prefix mask (most
+specific wins) and one compliance membership mask per event, and the
+per-record loop survives only as the ``apply_records`` compatibility shim.
 """
 
 from __future__ import annotations
@@ -32,7 +35,14 @@ from ..bgp.route_server import PolicyControl, RouteServer
 from ..sim.rng import make_rng
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import FlowTable
-from .base import Dimension, MitigationOutcome, MitigationTechnique, Rating
+from .base import (
+    Dimension,
+    MitigationOutcome,
+    MitigationTechnique,
+    Rating,
+    member_mask,
+    prefix_mask,
+)
 
 
 @dataclass
@@ -169,7 +179,7 @@ class RtbhService:
 
 
 class RtbhMitigation(MitigationTechnique):
-    """RTBH as a :class:`MitigationTechnique` over flow records."""
+    """RTBH as a :class:`MitigationTechnique` (columnar + record paths)."""
 
     name = "RTBH"
     ratings = {
@@ -188,11 +198,9 @@ class RtbhMitigation(MitigationTechnique):
     def __init__(self, service: RtbhService) -> None:
         self.service = service
 
-    def apply(
-        self, flows: "Sequence[FlowRecord] | FlowTable", interval: float
+    def apply_records(
+        self, flows: Sequence[FlowRecord], interval: float
     ) -> MitigationOutcome:
-        if isinstance(flows, FlowTable):
-            return self._apply_table(flows)
         outcome = MitigationOutcome()
         for flow in flows:
             event = self.service.event_for(flow.dst_ip)
@@ -202,7 +210,7 @@ class RtbhMitigation(MitigationTechnique):
                 outcome.delivered.append(flow)
         return outcome
 
-    def _apply_table(self, table: FlowTable) -> MitigationOutcome:
+    def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
         """Vectorized RTBH: per-event destination match + compliance mask."""
         discard = np.zeros(len(table), dtype=bool)
         unassigned = np.ones(len(table), dtype=bool)
@@ -212,18 +220,12 @@ class RtbhMitigation(MitigationTechnique):
             self.service.active_events(), key=lambda event: event.prefix.length, reverse=True
         )
         for event in events:
-            if event.prefix.version != 4:
-                continue
-            low, high = event.prefix.int_bounds
-            covered = unassigned & (table.dst_ip >= low) & (table.dst_ip <= high)
+            covered = unassigned & prefix_mask(table.dst_ip, event.prefix)
             if not covered.any():
                 continue
             unassigned &= ~covered
             if event.honoring_members:
-                honoring = np.fromiter(
-                    event.honoring_members, dtype=np.int64, count=len(event.honoring_members)
-                )
-                discard |= covered & np.isin(table.ingress_asn, honoring)
+                discard |= covered & member_mask(table.ingress_asn, event.honoring_members)
         return MitigationOutcome(
             delivered_table=table.select(~discard),
             discarded_table=table.select(discard),

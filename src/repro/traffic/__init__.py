@@ -7,6 +7,7 @@ from .amplification import (
     get_vector,
     vector_for_port,
 )
+from .attack_variants import CarpetBombingAttack, MultiVectorAttack, PulseAttack
 from .attacks import AmplificationAttack, BenignTrafficSource, BooterAttack
 from .flow import (
     FiveTuple,
@@ -38,6 +39,9 @@ __all__ = [
     "AmplificationAttack",
     "BenignTrafficSource",
     "BooterAttack",
+    "CarpetBombingAttack",
+    "MultiVectorAttack",
+    "PulseAttack",
     "FiveTuple",
     "FlowRecord",
     "distinct_ingress_members",

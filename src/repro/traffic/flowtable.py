@@ -332,6 +332,32 @@ class FlowTable:
         columns["packets"] = scaled_packets
         return FlowTable(src_mac=self.src_mac, **columns)
 
+    def scaled_by(self, factors: np.ndarray) -> "FlowTable":
+        """Row-wise shaping with an individual factor per row.
+
+        The vector equivalent of mapping :meth:`FlowRecord.scaled` over the
+        rows (same rounding, same minimum-one-packet convention for
+        positive factors), used when a shaping budget yields a different
+        scale per flow.
+        """
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (len(self),):
+            raise ValueError(
+                f"need one factor per row ({len(self)}), got shape {factors.shape}"
+            )
+        if len(factors) and factors.min() < 0:
+            raise ValueError("factors must be non-negative")
+        scaled_bytes = np.rint(self.bytes * factors).astype(np.int64)
+        scaled_packets = np.where(
+            factors > 0,
+            np.maximum(1, np.rint(self.packets * factors).astype(np.int64)),
+            0,
+        )
+        columns = {name: getattr(self, name) for name in COLUMNS}
+        columns["bytes"] = scaled_bytes
+        columns["packets"] = scaled_packets
+        return FlowTable(src_mac=self.src_mac, **columns)
+
     # ------------------------------------------------------------------
     # Record view
     # ------------------------------------------------------------------

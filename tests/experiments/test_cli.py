@@ -12,13 +12,14 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("table1", "fig2c", "fig3a", "fig3b", "fig3c", "fig9",
-                     "fig10a", "fig10b", "fig10c", "functionality"):
+                     "fig10a", "fig10b", "fig10c", "functionality",
+                     "pulse", "carpet", "multivector"):
             assert name in out
 
     def test_json_listing(self, capsys):
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 10
+        assert len(payload) == 13
         fig3c = next(entry for entry in payload if entry["name"] == "fig3c")
         assert "peer_count" in fig3c["config_fields"]
         assert "rtbh" in fig3c["aliases"]

@@ -17,7 +17,7 @@ from repro.sim import SimulationEngine
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_experiments_registered(self):
         names = [spec.name for spec in all_experiments()]
         assert names == [
             "table1",
@@ -30,6 +30,9 @@ class TestRegistry:
             "fig10b",
             "fig10c",
             "functionality",
+            "pulse",
+            "carpet",
+            "multivector",
         ]
 
     def test_lookup_by_alias_and_case(self):

@@ -1,0 +1,123 @@
+"""The scenario-diversity experiments: registry wiring, behaviour, sweeps."""
+
+import pytest
+
+from repro.experiments import (
+    CarpetBombingConfig,
+    MultiVectorConfig,
+    PulseAttackConfig,
+    Sweep,
+    get_experiment,
+    run_carpet_bombing_experiment,
+    run_multi_vector_experiment,
+    run_pulse_attack_experiment,
+    run_sweep,
+)
+
+QUICK = dict(duration=500.0, peer_count=10)
+
+
+class TestRegistryWiring:
+    @pytest.mark.parametrize(
+        "name,canonical",
+        [
+            ("pulse", "pulse"),
+            ("pulse-attack", "pulse"),
+            ("carpet", "carpet"),
+            ("carpet_bombing", "carpet"),
+            ("multivector", "multivector"),
+            ("multi-vector", "multivector"),
+        ],
+    )
+    def test_lookup(self, name, canonical):
+        assert get_experiment(name).name == canonical
+
+    def test_quick_run_through_spec(self):
+        result = get_experiment("pulse").run(quick=True)
+        assert result.summary()["burst_mbps"] > 0
+
+    def test_results_serialize(self):
+        result = get_experiment("carpet").run(quick=True)
+        payload = result.to_dict()
+        assert payload["distinct_target_count"] > 0
+        assert "series" in payload
+
+
+class TestPulseScenario:
+    def test_bursts_tower_over_gaps(self):
+        result = run_pulse_attack_experiment(PulseAttackConfig(seed=7, **QUICK))
+        summary = result.summary()
+        # During gaps only the benign floor (50 Mbps) is delivered.
+        assert summary["burst_mbps"] > 5 * summary["gap_mbps"]
+        assert result.burst_times and result.gap_times
+
+    def test_deterministic_per_seed(self):
+        a = run_pulse_attack_experiment(PulseAttackConfig(seed=7, **QUICK))
+        b = run_pulse_attack_experiment(PulseAttackConfig(seed=7, **QUICK))
+        assert a.to_dict() == b.to_dict()
+
+    def test_duty_cycle_one_never_gaps(self):
+        result = run_pulse_attack_experiment(
+            PulseAttackConfig(seed=7, duty_cycle=1.0, **QUICK)
+        )
+        assert not result.gap_times
+
+
+class TestCarpetScenario:
+    def test_host_blackhole_barely_dents_the_attack(self):
+        result = run_carpet_bombing_experiment(CarpetBombingConfig(seed=7, **QUICK))
+        summary = result.summary()
+        # The attack spreads over the /24 …
+        assert summary["distinct_target_count"] > 100
+        # … so the (fully honoured) /32 blackhole covers a sliver of it …
+        assert summary["host_coverage_fraction"] < 0.05
+        # … and removes almost nothing.
+        assert summary["traffic_reduction_fraction"] < 0.15
+
+    def test_deterministic_per_seed(self):
+        a = run_carpet_bombing_experiment(CarpetBombingConfig(seed=7, **QUICK))
+        b = run_carpet_bombing_experiment(CarpetBombingConfig(seed=7, **QUICK))
+        assert a.to_dict() == b.to_dict()
+
+
+class TestMultiVectorScenario:
+    def test_residual_steps_down_per_rule(self):
+        result = run_multi_vector_experiment(
+            MultiVectorConfig(seed=11, duration=700.0, peer_count=10)
+        )
+        summary = result.summary()
+        stages = [summary[f"stage{i}_mbps"] for i in (1, 2, 3)]
+        assert summary["peak_attack_mbps"] > stages[0] > stages[1] > stages[2]
+        # With every vector's rule installed only the benign floor remains.
+        assert summary["final_residual_mbps"] < 0.1 * summary["peak_attack_mbps"]
+
+    def test_vector_count_follows_config(self):
+        result = run_multi_vector_experiment(
+            MultiVectorConfig(seed=11, vectors="ntp,dns", duration=600.0, peer_count=10)
+        )
+        assert result.summary()["vector_count"] == 2.0
+
+
+class TestScenarioSweeps:
+    def test_pulse_sweepable_over_duty_cycle(self):
+        sweep = Sweep(
+            experiment="pulse",
+            grid={"duty_cycle": (0.25, 0.75)},
+            base={"duration": 400.0, "peer_count": 8},
+            seed=42,
+        )
+        result = run_sweep(sweep, jobs=1)
+        assert len(result) == 2
+        duty = [summary["duty_cycle"] for summary in result.summaries()]
+        assert duty == [0.25, 0.75]
+
+    def test_carpet_grid_matches_serial(self):
+        sweep = Sweep(
+            experiment="carpet",
+            grid={"peer_count": (8, 12)},
+            base={"duration": 400.0},
+            seed=43,
+        )
+        serial = run_sweep(sweep, jobs=1)
+        parallel = run_sweep(sweep, jobs=2)
+        assert serial.results == parallel.results

@@ -1,0 +1,223 @@
+"""Columnar-vs-record parity of the mitigation data plane.
+
+Every strategy must produce byte-identical outcomes whether it is applied
+through the vectorized ``apply_table`` path or the legacy per-record
+``apply_records`` shim: same flows in each bucket (delivered / discarded /
+shaped, compared as multisets of fully materialised records), same
+aggregate bit accounting, and — for the stochastic scrubber — the same
+seeded classification verdicts.
+"""
+
+import pytest
+
+from repro.bgp.flowspec import drop_rule, rate_limit_rule
+from repro.bgp.prefix import parse_prefix
+from repro.core.rules import BlackholingRule
+from repro.experiments.scenario import build_attack_scenario
+from repro.mitigation import (
+    AccessControlList,
+    AclEntry,
+    AclMitigation,
+    CombinedMitigation,
+    FlowspecMitigation,
+    FlowspecService,
+    NoMitigation,
+    RtbhMitigation,
+    RtbhService,
+    ScrubbingCenter,
+    ScrubbingMitigation,
+)
+from repro.traffic import FlowTable, IpProtocol
+
+INTERVAL = 10.0
+VICTIM_PREFIX = "100.10.10.10/32"
+
+
+@pytest.fixture(scope="module")
+def interval_table():
+    """One seeded interval of booter-attack + benign traffic."""
+    scenario = build_attack_scenario(peer_count=30, seed=3)
+    return FlowTable.concat(
+        [
+            scenario.attack.flow_table(300.0, INTERVAL),
+            scenario.benign.flow_table(300.0, INTERVAL),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def peer_asns():
+    return [65000 + i for i in range(30)]
+
+
+def record_key(flow):
+    key = flow.key
+    return (
+        key.src_ip,
+        key.dst_ip,
+        int(key.protocol),
+        key.src_port,
+        key.dst_port,
+        flow.start,
+        flow.duration,
+        flow.bytes,
+        flow.packets,
+        flow.ingress_member_asn,
+        flow.egress_member_asn,
+        flow.is_attack,
+    )
+
+
+def assert_outcomes_identical(record_outcome, table_outcome):
+    """Bucket-for-bucket multiset equality plus exact bit accounting."""
+    for bucket in ("delivered", "discarded", "shaped"):
+        record_keys = sorted(record_key(f) for f in getattr(record_outcome, bucket))
+        table_keys = sorted(record_key(f) for f in getattr(table_outcome, bucket))
+        assert record_keys == table_keys, f"{bucket} populations differ"
+    for accessor in (
+        "delivered_bits",
+        "discarded_bits",
+        "delivered_attack_bits",
+        "collateral_damage_bits",
+        "discarded_attack_bits",
+        "delivered_legitimate_bits",
+        "delivered_peers",
+    ):
+        assert getattr(record_outcome, accessor) == getattr(table_outcome, accessor)
+
+
+class TestRtbhParity:
+    def test_partial_compliance(self, interval_table, peer_asns):
+        outcomes = []
+        for _ in range(2):
+            service = RtbhService(ixp_asn=64700, compliance_rate=0.3, seed=9)
+            service.request_blackhole(64500, VICTIM_PREFIX, peer_asns)
+            outcomes.append(service)
+        record = RtbhMitigation(outcomes[0]).apply_records(
+            interval_table.to_records(), INTERVAL
+        )
+        table = RtbhMitigation(outcomes[1]).apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+        assert len(table.discarded) > 0  # the blackhole actually bit
+
+    def test_most_specific_event_wins(self, interval_table, peer_asns):
+        def build():
+            service = RtbhService(ixp_asn=64700, compliance_rate=1.0, seed=4)
+            service.request_blackhole(64500, "100.10.10.0/24", peer_asns[:10])
+            service.request_blackhole(64500, VICTIM_PREFIX, peer_asns[10:])
+            return service
+
+        record = RtbhMitigation(build()).apply_records(
+            interval_table.to_records(), INTERVAL
+        )
+        table = RtbhMitigation(build()).apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+
+
+class TestAclParity:
+    def test_ordered_entries_first_match_wins(self, interval_table):
+        acl = AccessControlList()
+        # Permit one source port explicitly, deny the rest of UDP: order matters.
+        acl.add(
+            AclEntry(
+                action="permit",
+                dst_prefix=parse_prefix(VICTIM_PREFIX),
+                protocol=IpProtocol.UDP,
+                src_port=53,
+            )
+        )
+        acl.deny(VICTIM_PREFIX, protocol=IpProtocol.UDP)
+        mitigation = AclMitigation(acl)
+        record = mitigation.apply_records(interval_table.to_records(), INTERVAL)
+        table = mitigation.apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+        assert len(table.discarded) > 0
+
+
+class TestFlowspecParity:
+    def test_discard_and_rate_limit_rules(self, interval_table, peer_asns):
+        def build():
+            service = FlowspecService(acceptance_rate=0.5, seed=4)
+            service.announce_rule(
+                drop_rule(VICTIM_PREFIX, source_port=123, ip_protocol=int(IpProtocol.UDP)),
+                peer_asns,
+            )
+            service.announce_rule(rate_limit_rule(VICTIM_PREFIX, 1e6), peer_asns)
+            return service
+
+        record = FlowspecMitigation(build()).apply_records(
+            interval_table.to_records(), INTERVAL
+        )
+        table = FlowspecMitigation(build()).apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+        assert len(table.discarded) > 0
+        assert len(table.shaped) > 0
+
+
+class TestScrubbingParity:
+    @pytest.mark.parametrize("capacity_bps", [500e9, 2e8])
+    def test_same_seed_same_verdicts(self, interval_table, capacity_bps):
+        record_side = ScrubbingMitigation(
+            ScrubbingCenter(capacity_bps=capacity_bps), active_since=-1e9, seed=7
+        )
+        table_side = ScrubbingMitigation(
+            ScrubbingCenter(capacity_bps=capacity_bps), active_since=-1e9, seed=7
+        )
+        record = record_side.apply_records(interval_table.to_records(), INTERVAL)
+        table = table_side.apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+        assert record_side.scrubbed_bits_total == table_side.scrubbed_bits_total
+
+    def test_not_yet_effective_passes_everything(self, interval_table):
+        mitigation = ScrubbingMitigation(active_since=1e9, seed=7)
+        record = mitigation.apply_records(interval_table.to_records(), INTERVAL)
+        table = mitigation.apply_table(interval_table, INTERVAL)
+        assert_outcomes_identical(record, table)
+        assert table.delivered_bits == float(interval_table.total_bits)
+
+
+class TestCombinedParity:
+    def test_prefilter_plus_scrubbing_pipeline(self, interval_table):
+        rules = [
+            BlackholingRule.drop_udp_source_port(64500, VICTIM_PREFIX, 123),
+            BlackholingRule.shape_udp_source_port(64500, VICTIM_PREFIX, 53, rate_bps=1e6),
+        ]
+        record_side = CombinedMitigation(
+            rules, ScrubbingMitigation(active_since=-1e9, seed=5)
+        )
+        table_side = CombinedMitigation(
+            rules, ScrubbingMitigation(active_since=-1e9, seed=5)
+        )
+        record = record_side.apply_detailed(interval_table.to_records(), INTERVAL)
+        table = table_side.apply_detailed(interval_table, INTERVAL)
+        assert_outcomes_identical(record.outcome, table.outcome)
+        assert record.prefiltered_bits == table.prefiltered_bits
+        assert record.scrubbed_bits == table.scrubbed_bits
+        assert record.scrubbing_cost == table.scrubbing_cost
+        assert record_side.total_scrubbing_cost == table_side.total_scrubbing_cost
+        assert record.prefiltered_bits > 0
+
+
+class TestDispatchShim:
+    def test_apply_routes_by_representation(self, interval_table):
+        mitigation = NoMitigation()
+        from_table = mitigation.apply(interval_table, INTERVAL)
+        from_records = mitigation.apply(interval_table.to_records(), INTERVAL)
+        assert from_table.delivered_table is interval_table
+        assert from_records.delivered_table is None
+        assert from_table.delivered_bits == from_records.delivered_bits
+
+    def test_default_record_path_round_trips_through_table(self, interval_table):
+        class TableOnly(NoMitigation):
+            def apply_records(self, flows, interval):  # force the default
+                from repro.mitigation.base import MitigationTechnique
+
+                return MitigationTechnique.apply_records(self, flows, interval)
+
+        outcome = TableOnly().apply(interval_table.to_records(), INTERVAL)
+        assert outcome.delivered_bits == float(interval_table.total_bits)
+
+    def test_empty_table(self):
+        outcome = NoMitigation().apply(FlowTable.empty(), INTERVAL)
+        assert outcome.delivered_bits == 0.0
+        assert outcome.delivered_peers == set()
