@@ -27,7 +27,9 @@ class RuleTelemetry:
     shaped_passed_bits: float = 0.0
     shaped_dropped_bits: float = 0.0
     last_update: float = 0.0
-    #: (time, matched_bps) samples for the member's attack-status view.
+    #: (time, matched_bits) samples for the member's attack-status view —
+    #: raw matched volume per recorded interval, so rates can be derived
+    #: for whatever observation interval the caller reports over.
     samples: List[tuple[float, float]] = field(default_factory=list)
 
     @property
@@ -35,10 +37,18 @@ class RuleTelemetry:
         return self.dropped_bits + self.shaped_dropped_bits
 
     def matched_rate_bps(self, interval: float) -> float:
-        """Matched traffic rate of the most recent interval."""
-        if not self.samples or interval <= 0:
+        """Matched traffic rate of the most recent sample over ``interval``.
+
+        Computed from the last sample's matched bits, so the rate really
+        reflects the interval the caller asks about (the old behaviour
+        baked the recording interval in and silently ignored the
+        argument).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not self.samples:
             return 0.0
-        return self.samples[-1][1]
+        return self.samples[-1][1] / interval
 
     @property
     def attack_appears_over(self) -> bool:
@@ -110,7 +120,7 @@ class TelemetryCollector:
                 0.0, result.shaped_dropped_bits if rule_id in shaped_bits_by_rule else 0.0
             )
             telemetry.last_update = time
-            telemetry.samples.append((time, matched / interval))
+            telemetry.samples.append((time, matched))
 
     @staticmethod
     def _rule_id_for(result: PortQosResult, flow, action: FilterAction) -> str:
@@ -140,7 +150,7 @@ class TelemetryCollector:
         telemetry.dropped_bits += dropped_bits
         telemetry.shaped_passed_bits += shaped_passed_bits
         telemetry.last_update = time
-        telemetry.samples.append((time, matched_bits / interval))
+        telemetry.samples.append((time, matched_bits))
         return telemetry
 
     # ------------------------------------------------------------------

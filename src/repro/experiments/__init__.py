@@ -32,10 +32,13 @@ from .attack_scenarios import (
     CarpetBombingResult,
     MultiVectorConfig,
     MultiVectorResult,
+    PaperScaleConfig,
+    PaperScaleResult,
     PulseAttackConfig,
     PulseAttackResult,
     run_carpet_bombing_experiment,
     run_multi_vector_experiment,
+    run_paper_scale_experiment,
     run_pulse_attack_experiment,
 )
 from .change_queueing import (
@@ -86,7 +89,12 @@ from .registry import (
     get_experiment,
 )
 from .results import JsonResultMixin, ResultStore, to_jsonable
-from .scenario import AttackScenario, build_attack_scenario
+from .scenario import (
+    AttackScenario,
+    PaperScaleScenario,
+    build_attack_scenario,
+    build_paper_scale_scenario,
+)
 from .stellar_attack import (
     StellarAttackConfig,
     StellarAttackResult,
@@ -107,10 +115,13 @@ __all__ = [
     "CarpetBombingResult",
     "MultiVectorConfig",
     "MultiVectorResult",
+    "PaperScaleConfig",
+    "PaperScaleResult",
     "PulseAttackConfig",
     "PulseAttackResult",
     "run_carpet_bombing_experiment",
     "run_multi_vector_experiment",
+    "run_paper_scale_experiment",
     "run_pulse_attack_experiment",
     "ChangeQueueingConfig",
     "ChangeQueueingResult",
@@ -141,7 +152,9 @@ __all__ = [
     "ScalingResult",
     "run_scaling_experiment",
     "AttackScenario",
+    "PaperScaleScenario",
     "build_attack_scenario",
+    "build_paper_scale_scenario",
     "StellarAttackConfig",
     "StellarAttackResult",
     "run_stellar_attack_experiment",

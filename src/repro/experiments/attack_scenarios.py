@@ -15,8 +15,13 @@ different mitigation style:
 * ``multivector`` — a composite amplification attack against Stellar:
   the victim signals one fine-grained drop rule per vector, staggered in
   time, and the delivered rate steps down as each signature is removed.
+* ``paper_scale`` — the platform-scale regime of §4.5: ~800 members
+  across a multi-PoP fabric exchanging Tbps of background traffic while
+  one member is attacked and mitigates via Stellar; runs on the batched
+  fabric delivery engine and reports platform load and per-port
+  oversubscription.
 
-All three run entirely on the columnar mitigation plane: per interval one
+All of them run entirely on the columnar data plane: per interval one
 :class:`~repro.traffic.flowtable.FlowTable` batch is generated and pushed
 through ``apply_table`` (baselines) or the Stellar fabric.
 """
@@ -36,7 +41,9 @@ from .harness import SteppedExperiment
 from .results import JsonResultMixin
 from .scenario import (
     AttackScenario,
+    PaperScaleScenario,
     build_attack_scenario,
+    build_paper_scale_scenario,
     make_delivery_step,
     signal_host_blackhole,
 )
@@ -415,5 +422,192 @@ def run_multi_vector_experiment(
         config=config,
         series=series,
         vector_ports=vector_ports,
+        events=harness.events(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper-scale multi-PoP platform vs. Stellar
+# ----------------------------------------------------------------------
+@dataclass
+class PaperScaleConfig:
+    """Parameters of the paper-scale multi-PoP scenario."""
+
+    duration: float = 600.0
+    interval: float = 10.0
+    member_count: int = 800
+    pop_count: int = 4
+    routers_per_pop: int = 2
+    attack_peer_count: int = 60
+    attack_start: float = 120.0
+    attack_duration: float = 360.0
+    attack_peak_bps: float = 80e9
+    victim_port_capacity_bps: float = 10e9
+    #: Platform-wide regular cross-member traffic (bits/second).
+    background_rate_bps: float = 2e12
+    background_flows_per_interval: int = 3000
+    benign_rate_bps: float = 200e6
+    #: When the victim signals the Stellar drop rule for the attack vector.
+    mitigation_time: float = 300.0
+    vector_name: str = "ntp"
+    #: Fabric delivery engine: "batched" (the single-pass plan) or
+    #: "per-member" (the parity-tested fallback loop) — sweepable, so the
+    #: engine-parity and benchmark claims can be reproduced from the CLI.
+    delivery_engine: str = "batched"
+    seed: int = 7
+
+
+@dataclass
+class PaperScaleResult(JsonResultMixin):
+    """Victim time series plus platform-level load and port accounting."""
+
+    config: PaperScaleConfig
+    series: AttackTimeSeries
+    #: Peak platform load observed across the run (bits/second).
+    platform_peak_bps: float
+    platform_capacity_bps: float
+    connected_capacity_bps: float
+    #: (port, interval) pairs whose egress demand exceeded the port
+    #: capacity — the oversubscription the true utilisation ratio exposes.
+    oversubscribed_port_intervals: int
+    #: Highest per-interval port utilisation seen anywhere on the fabric.
+    peak_port_utilisation: float
+    member_count: int
+    router_count: int
+    pop_count: int
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+
+    @property
+    def peak_attack_mbps(self) -> float:
+        return self.series.window(
+            self.config.attack_start, self.config.mitigation_time
+        ).peak_mbps()
+
+    @property
+    def residual_mbps(self) -> float:
+        """Mean delivered rate after the Stellar rule (attack still firing)."""
+        return self.series.mean_mbps(
+            self.config.mitigation_time + 2 * self.config.interval,
+            self.config.attack_start + self.config.attack_duration,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "peak_attack_mbps": self.peak_attack_mbps,
+            "residual_mbps": self.residual_mbps,
+            "platform_peak_tbps": self.platform_peak_bps / 1e12,
+            "platform_load_fraction": self.platform_peak_bps
+            / self.platform_capacity_bps,
+            "connected_capacity_tbps": self.connected_capacity_bps / 1e12,
+            "oversubscribed_port_intervals": float(self.oversubscribed_port_intervals),
+            "peak_port_utilisation": self.peak_port_utilisation,
+            "member_count": float(self.member_count),
+            "router_count": float(self.router_count),
+        }
+
+
+def run_paper_scale_experiment(
+    config: PaperScaleConfig | None = None,
+    scenario: PaperScaleScenario | None = None,
+) -> PaperScaleResult:
+    """Run the paper-scale scenario: a booter attack on one member of a
+    multi-PoP, DE-CIX-class platform carrying Tbps of background load.
+
+    The whole run executes on the batched fabric delivery engine — the
+    per-member loop would pay O(members × flows) per interval at this
+    scale — and the Stellar mitigation is signalled through the portal
+    API mid-attack, as in Fig. 10(c), so the victim series steps down
+    while the platform keeps carrying the background mesh.
+    """
+    config = config if config is not None else PaperScaleConfig()
+    if scenario is None:
+        scenario = build_paper_scale_scenario(
+            member_count=config.member_count,
+            pop_count=config.pop_count,
+            routers_per_pop=config.routers_per_pop,
+            attack_peer_count=config.attack_peer_count,
+            victim_port_capacity_bps=config.victim_port_capacity_bps,
+            attack_peak_bps=config.attack_peak_bps,
+            attack_start=config.attack_start,
+            attack_duration=config.attack_duration,
+            background_rate_bps=config.background_rate_bps,
+            background_flows_per_interval=config.background_flows_per_interval,
+            interval=config.interval,
+            benign_rate_bps=config.benign_rate_bps,
+            vector_name=config.vector_name,
+            seed=config.seed,
+            delivery_engine=config.delivery_engine,
+        )
+    stellar = scenario.stellar
+    fabric = scenario.fabric
+    victim_asn = scenario.victim.asn
+    series = AttackTimeSeries()
+    harness = SteppedExperiment(duration=config.duration, interval=config.interval)
+    tracker = {
+        "platform_peak_bps": 0.0,
+        "oversubscribed": 0,
+        "peak_utilisation": 0.0,
+    }
+
+    def signal_stellar_drop() -> None:
+        rule = BlackholingRule.drop_udp_source_port(
+            victim_asn,
+            f"{scenario.victim_ip}/32",
+            scenario.attack.vector.source_port,
+        )
+        stellar.request_mitigation(rule, via="api")
+
+    harness.at(config.mitigation_time, signal_stellar_drop, name="stellar-drop")
+
+    def step(t: float, interval: float) -> None:
+        flows = FlowTable.concat(
+            [
+                scenario.attack.flow_table(t, interval),
+                scenario.benign.flow_table(t, interval),
+                scenario.background.interval_table(t),
+            ]
+        )
+        report = stellar.deliver_traffic(flows, interval, interval_start=t)
+        fabric_report = report.fabric_report
+        tracker["platform_peak_bps"] = max(
+            tracker["platform_peak_bps"], fabric_report.platform_load_bps
+        )
+        # Port-level oversubscription scan: pure bit accounting, so the
+        # batched engine's deferred tables stay unmaterialised here.
+        for member_asn, result in fabric_report.results_by_member.items():
+            utilisation = fabric.port_for_member(member_asn).utilisation(
+                result, interval
+            )
+            tracker["peak_utilisation"] = max(tracker["peak_utilisation"], utilisation)
+            if utilisation > 1.0:
+                tracker["oversubscribed"] += 1
+        victim_result = fabric_report.results_by_member.get(victim_asn)
+        if victim_result is None:
+            series.record(time=t, delivered_mbps=0.0, peer_count=0)
+            return
+        record_delivery(
+            series,
+            time=t,
+            interval=interval,
+            delivered_bits=victim_result.delivered_bits,
+            attack_bits=victim_result.delivered_attack_bits(),
+            peer_count=len(victim_result.delivered_peer_asns()),
+            filtered_bits=report.filtered_bits,
+        )
+
+    harness.run(step)
+    return PaperScaleResult(
+        config=config,
+        series=series,
+        platform_peak_bps=tracker["platform_peak_bps"],
+        platform_capacity_bps=fabric.platform_capacity_bps,
+        connected_capacity_bps=fabric.connected_capacity_bps,
+        oversubscribed_port_intervals=tracker["oversubscribed"],
+        peak_port_utilisation=tracker["peak_utilisation"],
+        # Topology facts come from the fabric that actually ran, so a
+        # caller-supplied scenario can't disagree with the report.
+        member_count=len(scenario.members),
+        router_count=len(fabric.edge_routers()),
+        pop_count=len({router.pop for router in fabric.edge_routers()}),
         events=harness.events(),
     )

@@ -17,9 +17,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from .attack_scenarios import (
     CarpetBombingConfig,
     MultiVectorConfig,
+    PaperScaleConfig,
     PulseAttackConfig,
     run_carpet_bombing_experiment,
     run_multi_vector_experiment,
+    run_paper_scale_experiment,
     run_pulse_attack_experiment,
 )
 from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
@@ -270,5 +272,24 @@ register(
         runner=run_multi_vector_experiment,
         aliases=("multi-vector", "multi_vector"),
         quick_overrides={"duration": 700.0, "peer_count": 12},
+    )
+)
+register(
+    ExperimentSpec(
+        name="paper_scale",
+        figure="scenario",
+        title="Paper-scale multi-PoP platform (~800 members) vs. Stellar",
+        config_cls=PaperScaleConfig,
+        runner=run_paper_scale_experiment,
+        aliases=("paper-scale", "platform-scale"),
+        quick_overrides={
+            "duration": 300.0,
+            "member_count": 80,
+            "attack_peer_count": 20,
+            "background_rate_bps": 2e11,
+            "background_flows_per_interval": 400,
+            "mitigation_time": 200.0,
+            "attack_duration": 200.0,
+        },
     )
 )

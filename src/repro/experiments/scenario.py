@@ -25,6 +25,11 @@ from ..ixp.edge_router import EdgeRouter
 from ..ixp.fabric import SwitchingFabric
 from ..ixp.hardware_profiles import l_ixp_edge_router_profile
 from ..ixp.member import IxpMember
+from ..ixp.topology import (
+    PortSpeedMix,
+    build_multi_pop_fabric,
+    make_member_population,
+)
 from ..mitigation.base import MitigationTechnique
 from ..mitigation.rtbh import BlackholeEvent, RtbhService
 from ..traffic.attack_variants import (
@@ -34,6 +39,7 @@ from ..traffic.attack_variants import (
 )
 from ..traffic.attacks import BenignTrafficSource, BooterAttack
 from ..traffic.flowtable import FlowTable
+from ..traffic.generator import IxpTraceGenerator
 
 #: ASN used for the IXP's route server / management AS (a 16-bit private ASN
 #: so the extended-community encoding applies).
@@ -121,6 +127,137 @@ def make_delivery_step(
         )
 
     return step
+
+
+@dataclass
+class PaperScaleScenario:
+    """A platform-scale deployment: one victim inside a large population.
+
+    Unlike :class:`AttackScenario` (a single edge router, traffic only
+    towards the victim), the paper-scale scenario carries platform-wide
+    background traffic between *all* members across a multi-PoP fabric —
+    the regime the §4.5 egress-filtering argument is actually about.
+    """
+
+    stellar: Stellar
+    fabric: SwitchingFabric
+    victim: IxpMember
+    members: List[IxpMember]
+    #: Members the booter attack arrives through.
+    attack_peers: List[IxpMember]
+    attack: BooterAttack
+    benign: BenignTrafficSource
+    #: Platform-wide cross-member background load (one batch per interval).
+    background: IxpTraceGenerator
+    victim_ip: str = DEFAULT_VICTIM_IP
+
+    @property
+    def member_asns(self) -> List[int]:
+        return [member.asn for member in self.members]
+
+
+def build_paper_scale_scenario(
+    member_count: int = 800,
+    pop_count: int = 4,
+    routers_per_pop: int = 2,
+    attack_peer_count: int = 60,
+    victim_port_capacity_bps: float = 10e9,
+    attack_peak_bps: float = 80e9,
+    attack_start: float = 120.0,
+    attack_duration: float = 360.0,
+    background_rate_bps: float = 2e12,
+    background_flows_per_interval: int = 3000,
+    interval: float = 10.0,
+    benign_rate_bps: float = 200e6,
+    benign_peer_count: int = 5,
+    vector_name: str = "ntp",
+    port_mix: Optional[PortSpeedMix] = None,
+    platform_capacity_bps: float = 25e12,
+    ixp_asn: int = DEFAULT_IXP_ASN,
+    victim_asn: int = DEFAULT_VICTIM_ASN,
+    victim_ip: str = DEFAULT_VICTIM_IP,
+    seed: int = 7,
+    delivery_engine: str = "batched",
+) -> PaperScaleScenario:
+    """Build the paper-scale multi-PoP scenario (§4.5, footnote 1).
+
+    ``member_count`` members (including the victim) spread over
+    ``pop_count`` PoPs with ``routers_per_pop`` edge routers each and a
+    DE-CIX-class port-capacity mix.  The victim receives a booter attack
+    through ``attack_peer_count`` ingress peers while every member
+    exchanges ``background_rate_bps`` of regular §2.3-mix traffic across
+    the platform — the load that makes egress filtering a real capacity
+    question.
+    """
+    if member_count < max(2, attack_peer_count + 1):
+        raise ValueError(
+            "member_count must cover the victim plus the attack peers "
+            f"(got {member_count} members, {attack_peer_count} peers)"
+        )
+    fabric = build_multi_pop_fabric(
+        pop_count=pop_count,
+        routers_per_pop=routers_per_pop,
+        platform_capacity_bps=platform_capacity_bps,
+        delivery_engine=delivery_engine,
+        seed=seed,
+    )
+    stellar = Stellar(ixp_asn=ixp_asn, fabric=fabric)
+
+    victim = IxpMember(
+        asn=victim_asn,
+        name="experimental-as",
+        port_capacity_bps=victim_port_capacity_bps,
+        prefixes=["100.10.10.0/24"],
+        honors_rtbh=True,
+        pop="pop-1",
+    )
+    members = make_member_population(
+        member_count - 1,
+        pop_count=pop_count,
+        port_mix=port_mix,
+        seed=seed,
+    )
+    stellar.add_member(victim)
+    stellar.add_members(members)
+
+    attack_peers = members[:attack_peer_count]
+    peer_asns = [peer.asn for peer in attack_peers]
+    attack = BooterAttack(
+        victim_ip=victim_ip,
+        victim_member_asn=victim_asn,
+        peer_member_asns=peer_asns,
+        peak_rate_bps=attack_peak_bps,
+        start=attack_start,
+        duration=attack_duration,
+        vector_name=vector_name,
+        seed=seed,
+    )
+    benign = BenignTrafficSource(
+        dst_ip=victim_ip,
+        egress_member_asn=victim_asn,
+        ingress_member_asns=peer_asns[: max(1, benign_peer_count)],
+        rate_bps=benign_rate_bps,
+        seed=seed + 1,
+    )
+    background = IxpTraceGenerator(
+        member_asns=[victim.asn, *(member.asn for member in members)],
+        duration=interval,
+        interval=interval,
+        regular_rate_bps=background_rate_bps,
+        flows_per_interval=background_flows_per_interval,
+        seed=seed + 2,
+    )
+    return PaperScaleScenario(
+        stellar=stellar,
+        fabric=fabric,
+        victim=victim,
+        members=[victim, *members],
+        attack_peers=list(attack_peers),
+        attack=attack,
+        benign=benign,
+        background=background,
+        victim_ip=victim_ip,
+    )
 
 
 def build_attack_scenario(

@@ -5,8 +5,9 @@ from .control_plane import (
     PAPER_MEDIAN_UPDATE_RATE,
     ControlPlaneCpuModel,
 )
+from .delivery import CompiledRule, FabricDeliveryPlan
 from .edge_router import EdgeRouter, PortNotFoundError, RuleInstallation
-from .fabric import FabricIntervalReport, SwitchingFabric
+from .fabric import DELIVERY_ENGINES, FabricIntervalReport, SwitchingFabric
 from .hardware_profiles import (
     PARALLEL_RTBH_95TH_PERCENTILE,
     HardwareProfile,
@@ -25,6 +26,12 @@ from .qos import (
 )
 from .queues import RateLimiter, TokenBucket
 from .tcam import TcamExhaustedError, TcamModel, TcamStatus
+from .topology import (
+    PortSpeedMix,
+    build_multi_pop_fabric,
+    de_cix_class_port_mix,
+    make_member_population,
+)
 
 __all__ = [
     "DEFAULT_CPU_LIMIT_PERCENT",
@@ -33,6 +40,9 @@ __all__ = [
     "EdgeRouter",
     "PortNotFoundError",
     "RuleInstallation",
+    "CompiledRule",
+    "FabricDeliveryPlan",
+    "DELIVERY_ENGINES",
     "FabricIntervalReport",
     "SwitchingFabric",
     "PARALLEL_RTBH_95TH_PERCENTILE",
@@ -54,4 +64,8 @@ __all__ = [
     "TcamExhaustedError",
     "TcamModel",
     "TcamStatus",
+    "PortSpeedMix",
+    "build_multi_pop_fabric",
+    "de_cix_class_port_mix",
+    "make_member_population",
 ]

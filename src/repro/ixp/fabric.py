@@ -20,6 +20,7 @@ import numpy as np
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import FlowTable
 from ..traffic.ipfix import IpfixCollector, IpfixExporter
+from .delivery import FabricDeliveryPlan
 from .edge_router import EdgeRouter, PortNotFoundError
 from .hardware_profiles import HardwareProfile
 from .member import IxpMember
@@ -47,18 +48,37 @@ class FabricIntervalReport:
         return self.offered_bits / self.interval
 
 
+#: Delivery engines :meth:`SwitchingFabric.deliver` can run.
+DELIVERY_ENGINES = ("batched", "per-member")
+
+
 class SwitchingFabric:
-    """The IXP's layer-2 switching platform."""
+    """The IXP's layer-2 switching platform.
+
+    ``delivery_engine`` selects how an interval's columnar traffic crosses
+    the platform: ``"batched"`` (the default) compiles a
+    :class:`~repro.ixp.delivery.FabricDeliveryPlan` and runs one
+    platform-level group-by + classification pass; ``"per-member"`` is the
+    parity-tested fallback that walks egress members one at a time.
+    Record-list input always takes the per-member path.
+    """
 
     def __init__(
         self,
         name: str = "l-ixp",
         platform_capacity_bps: float = 25e12,
         ipfix_sampling_rate: int = 1,
+        delivery_engine: str = "batched",
     ) -> None:
         if platform_capacity_bps <= 0:
             raise ValueError("platform capacity must be positive")
+        if delivery_engine not in DELIVERY_ENGINES:
+            raise ValueError(
+                f"unknown delivery engine {delivery_engine!r}; "
+                f"known: {', '.join(DELIVERY_ENGINES)}"
+            )
         self.name = name
+        self.delivery_engine = delivery_engine
         #: Connected member capacity of the platform (25 Tbps at DE-CIX
         #: Frankfurt in 2017, paper footnote 1).
         self.platform_capacity_bps = platform_capacity_bps
@@ -133,37 +153,89 @@ class SwitchingFabric:
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
+    def compile_delivery_plan(self) -> FabricDeliveryPlan:
+        """Snapshot the connected ports + rules into a batched delivery plan."""
+        return FabricDeliveryPlan(self)
+
     def deliver(
         self,
         flows: Union[Iterable[FlowRecord], FlowTable],
         interval: float,
         interval_start: float = 0.0,
+        engine: Optional[str] = None,
     ) -> FabricIntervalReport:
         """Carry one observation interval of traffic across the platform.
 
         Flows are grouped by their egress member, pushed through that
         member's port QoS policy, and the per-member results plus a
         platform-level summary are returned.  Flows whose egress member is
-        unknown are ignored (they never entered the IXP).  A columnar
-        :class:`FlowTable` input keeps the whole interval on the vectorized
-        path (group-by, QoS classification and IPFIX export).
+        unknown are ignored (they never entered the IXP) — including by the
+        IPFIX export, which only sees traffic the platform actually
+        carried.  A columnar :class:`FlowTable` input runs on the fabric's
+        configured ``delivery_engine`` (overridable per call via
+        ``engine``); record-list input always takes the per-member path.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
+        engine = self.delivery_engine if engine is None else engine
+        if engine not in DELIVERY_ENGINES:
+            raise ValueError(
+                f"unknown delivery engine {engine!r}; known: {', '.join(DELIVERY_ENGINES)}"
+            )
         if isinstance(flows, FlowTable):
-            by_member: Dict[int, Union[List[FlowRecord], FlowTable]] = {}
-            egress = flows.egress_asn
-            for member_asn in np.unique(egress).tolist():
-                if member_asn in self._members:
-                    by_member[member_asn] = flows.select(egress == member_asn)
+            export_flows: Union[List[FlowRecord], FlowTable] = self._known_egress(flows)
+            if engine == "batched":
+                report = self.compile_delivery_plan().execute(
+                    flows, interval, interval_start
+                )
+            else:
+                report = self._deliver_per_member(
+                    self._group_table(flows), interval, interval_start
+                )
         else:
             flows = list(flows)
             grouped: Dict[int, List[FlowRecord]] = defaultdict(list)
+            export_flows = []
             for flow in flows:
                 if flow.egress_member_asn in self._members:
                     grouped[flow.egress_member_asn].append(flow)
-            by_member = dict(grouped)
+                    export_flows.append(flow)
+            report = self._deliver_per_member(dict(grouped), interval, interval_start)
 
+        self.collector.receive(
+            self._exporter.export(export_flows, export_time=interval_start)
+        )
+        self.reports.append(report)
+        return report
+
+    def _known_egress(self, flows: FlowTable) -> FlowTable:
+        """The rows whose egress member is connected (= traffic the IXP saw)."""
+        if not len(flows):
+            return flows
+        if not self._members:
+            return flows.select(np.zeros(len(flows), dtype=bool))
+        member_asns = np.fromiter(
+            self._members, dtype=np.int64, count=len(self._members)
+        )
+        known = np.isin(flows.egress_asn, member_asns)
+        return flows if bool(known.all()) else flows.select(known)
+
+    def _group_table(self, flows: FlowTable) -> Dict[int, FlowTable]:
+        """Per-member sub-tables (the per-member engine's group-by)."""
+        by_member: Dict[int, FlowTable] = {}
+        egress = flows.egress_asn
+        for member_asn in np.unique(egress).tolist():
+            if member_asn in self._members:
+                by_member[member_asn] = flows.select(egress == member_asn)
+        return by_member
+
+    def _deliver_per_member(
+        self,
+        by_member: Dict[int, Union[List[FlowRecord], FlowTable]],
+        interval: float,
+        interval_start: float,
+    ) -> FabricIntervalReport:
+        """The fallback engine: one ``qos.apply`` per egress member."""
         report = FabricIntervalReport(interval_start=interval_start, interval=interval)
         for member_asn, member_flows in by_member.items():
             router = self.router_for_member(member_asn)
@@ -179,9 +251,6 @@ class SwitchingFabric:
             report.delivered_bits += result.delivered_bits
             report.filtered_bits += result.dropped_bits + result.shaped_dropped_bits
             report.congestion_dropped_bits += result.congestion_dropped_bits
-
-        self.collector.receive(self._exporter.export(flows, export_time=interval_start))
-        self.reports.append(report)
         return report
 
     def platform_overloaded(self, report: FabricIntervalReport) -> bool:

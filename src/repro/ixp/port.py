@@ -94,10 +94,23 @@ class MemberPort:
         return result
 
     def utilisation(self, result: PortQosResult, interval: float) -> float:
-        """Port utilisation in [0, 1] for one interval result."""
+        """Egress demand on the port relative to its capacity (can exceed 1).
+
+        The demand is what the QoS policy tried to deliver — the bits that
+        made it plus the bits congestion-dropped at the egress queue — so
+        an oversubscribed port reports its true ratio (e.g. 8.0 for an 80
+        Mbit demand on a 10 Mbit interval budget) instead of silently
+        clamping to 1.0.  Presentation layers that want a bounded gauge
+        should use :meth:`display_utilisation`.
+        """
         if interval <= 0:
             raise ValueError("interval must be positive")
-        return min(1.0, result.delivered_bits / (self.capacity_bps * interval))
+        demand_bits = result.delivered_bits + result.congestion_dropped_bits
+        return demand_bits / (self.capacity_bps * interval)
+
+    def display_utilisation(self, result: PortQosResult, interval: float) -> float:
+        """:meth:`utilisation` clamped to [0, 1] for bounded gauges."""
+        return min(1.0, self.utilisation(result, interval))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MemberPort(port_id={self.port_id}, member=AS{self.member.asn})"

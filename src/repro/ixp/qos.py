@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -175,6 +175,12 @@ class PortQosResult:
     consumers keep working while the hot paths stay columnar.
     ``rule_stats`` attributes matched/dropped/shaped bits to the rule id
     that classified them, which is what the telemetry layer reports.
+
+    ``table_source`` defers the columnar views themselves: the batched
+    fabric delivery engine accounts for hundreds of ports per interval and
+    hands each result a callable producing ``(forwarded, dropped, shaped)``
+    tables, which only runs if a consumer actually asks for a per-flow
+    view — the bit counters and ``rule_stats`` are always eager.
     """
 
     def __init__(
@@ -191,13 +197,17 @@ class PortQosResult:
         dropped_table: Optional[FlowTable] = None,
         shaped_table: Optional[FlowTable] = None,
         rule_stats: Optional[Dict[str, Dict[str, float]]] = None,
+        table_source: Optional[
+            Callable[[], tuple[FlowTable, FlowTable, FlowTable]]
+        ] = None,
     ) -> None:
         self._forwarded = forwarded
         self._dropped = dropped
         self._shaped = shaped
-        self.forwarded_table = forwarded_table
-        self.dropped_table = dropped_table
-        self.shaped_table = shaped_table
+        self._forwarded_table = forwarded_table
+        self._dropped_table = dropped_table
+        self._shaped_table = shaped_table
+        self._table_source = table_source
         self.forwarded_bits = forwarded_bits
         self.dropped_bits = dropped_bits
         self.shaped_passed_bits = shaped_passed_bits
@@ -206,6 +216,41 @@ class PortQosResult:
         self.rule_stats: Dict[str, Dict[str, float]] = (
             rule_stats if rule_stats is not None else {}
         )
+
+    # ------------------------------------------------------------------
+    # Columnar views (lazy when a table_source was deferred)
+    # ------------------------------------------------------------------
+    def _materialise_tables(self) -> None:
+        if self._table_source is not None:
+            source, self._table_source = self._table_source, None
+            self._forwarded_table, self._dropped_table, self._shaped_table = source()
+
+    @property
+    def forwarded_table(self) -> Optional[FlowTable]:
+        self._materialise_tables()
+        return self._forwarded_table
+
+    @forwarded_table.setter
+    def forwarded_table(self, table: Optional[FlowTable]) -> None:
+        self._forwarded_table = table
+
+    @property
+    def dropped_table(self) -> Optional[FlowTable]:
+        self._materialise_tables()
+        return self._dropped_table
+
+    @dropped_table.setter
+    def dropped_table(self, table: Optional[FlowTable]) -> None:
+        self._dropped_table = table
+
+    @property
+    def shaped_table(self) -> Optional[FlowTable]:
+        self._materialise_tables()
+        return self._shaped_table
+
+    @shaped_table.setter
+    def shaped_table(self, table: Optional[FlowTable]) -> None:
+        self._shaped_table = table
 
     # ------------------------------------------------------------------
     # Record views (lazy when columnar tables are present)
@@ -307,6 +352,21 @@ class PortQosPolicy:
     def rules(self) -> List[QosRule]:
         return list(self._rules)
 
+    def sorted_rules(self) -> List[QosRule]:
+        """The rules in classification (most-specific-first) order.
+
+        The batched fabric delivery engine compiles these into its
+        platform-level rule set; the order is exactly the order
+        :meth:`classify` / ``_apply_table`` evaluate them in.
+        """
+        return list(self._sorted_rules)
+
+    def shaper_for(self, key: str) -> Optional[RateLimiter]:
+        """The stateful shaper behind a SHAPE rule id (``"anon"`` for
+        anonymous shape rules), shared with the batched delivery engine so
+        both engines drain the same token state."""
+        return self._shapers.get(key)
+
     def clear(self) -> None:
         self._rules.clear()
         self._sorted_rules.clear()
@@ -381,7 +441,7 @@ class PortQosPolicy:
             result.shaped_passed_bits += passed_bits
             result.shaped_dropped_bits += dropped_bits
 
-        self._apply_congestion(result, interval)
+        self.apply_congestion(result, interval)
         return result
 
     def _apply_table(self, table: FlowTable, interval: float) -> PortQosResult:
@@ -395,7 +455,7 @@ class PortQosPolicy:
                 forwarded_bits=float(table.total_bits),
                 rule_stats=rule_stats,
             )
-            self._apply_congestion(result, interval)
+            self.apply_congestion(result, interval)
             return result
 
         # Assign each row to its most specific matching rule (rules are kept
@@ -468,10 +528,10 @@ class PortQosPolicy:
             shaped_dropped_bits=shaped_dropped,
             rule_stats=rule_stats,
         )
-        self._apply_congestion(result, interval)
+        self.apply_congestion(result, interval)
         return result
 
-    def _apply_congestion(self, result: PortQosResult, interval: float) -> None:
+    def apply_congestion(self, result: PortQosResult, interval: float) -> None:
         # Egress queue: forwarded + shaped traffic shares the port capacity;
         # anything beyond it is congestion loss at the member port.
         capacity_bits = self.port_capacity_bps * interval

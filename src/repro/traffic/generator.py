@@ -87,6 +87,7 @@ class IxpTraceGenerator:
             raise ValueError("interval and duration must be positive")
         self._rng = make_rng(self.seed)
         self._members_arr = np.asarray(list(self.member_asns), dtype=np.int64)
+        self._other_profile = other_traffic_profile()
 
     # ------------------------------------------------------------------
     def default_events(self, count: int = 20) -> List[RtbhEvent]:
@@ -192,9 +193,25 @@ class IxpTraceGenerator:
             profile, total_bytes, count, interval_start, is_attack, dst_ip, egress_member
         ).to_records()
 
+    def interval_table(self, interval_start: float) -> FlowTable:
+        """One observation interval of regular cross-member traffic.
+
+        The public per-interval entry point for stepped drivers (the
+        paper-scale scenario draws its platform-wide background load this
+        way): ``regular_rate_bps`` worth of §2.3-mix traffic with random
+        ingress *and* egress members, as a columnar batch.
+        """
+        return self._profile_table(
+            self._other_profile,
+            self.regular_rate_bps * self.interval / 8,
+            self.flows_per_interval,
+            interval_start,
+            is_attack=False,
+        )
+
     def generate(self) -> TrafficTrace:
         """Generate the full trace (table-backed)."""
-        other_profile = other_traffic_profile()
+        other_profile = self._other_profile
         blackholed_profile = blackholed_traffic_profile()
         events = list(self.rtbh_events)
         intervals = int(self.duration / self.interval)

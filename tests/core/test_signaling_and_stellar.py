@@ -6,6 +6,7 @@ from repro.bgp import ImportPolicy
 from repro.core import (
     BlackholingRule,
     RuleAction,
+    RuleTelemetry,
     SignalRejectedError,
     Stellar,
     TelemetryCollector,
@@ -236,6 +237,26 @@ class TestTelemetryCollector:
         assert telemetry.dropped_bits == 1500.0
         assert len(telemetry.samples) == 2
         assert telemetry.matched_rate_bps(10.0) == 50.0
+
+    def test_matched_rate_uses_the_queried_interval(self):
+        # Regression: the interval argument used to be ignored — the
+        # method returned the last sample verbatim regardless of the
+        # observation interval the caller reported over.
+        collector = TelemetryCollector()
+        collector.record_rule_interval(
+            "r1", 64500, 1200.0, 1200.0, 0.0, interval=10.0, time=0.0
+        )
+        telemetry = collector.telemetry_for_rule("r1")
+        assert telemetry.samples[-1] == (0.0, 1200.0)  # raw matched bits
+        assert telemetry.matched_rate_bps(10.0) == 120.0
+        assert telemetry.matched_rate_bps(5.0) == 240.0
+        with pytest.raises(ValueError):
+            telemetry.matched_rate_bps(0.0)
+
+    def test_matched_rate_without_samples_is_zero(self):
+        telemetry = RuleTelemetry(rule_id="x", member_asn=1)
+        assert telemetry.matched_rate_bps(10.0) == 0.0
+        assert not telemetry.attack_appears_over
 
     def test_report_for_member_filters_by_asn(self):
         collector = TelemetryCollector()

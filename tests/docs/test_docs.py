@@ -133,9 +133,13 @@ class TestCodeFences:
 
 
 def github_slug(heading: str) -> str:
-    """GitHub's markdown heading → anchor slug (close enough for our docs)."""
+    """GitHub's markdown heading → anchor slug (close enough for our docs).
+
+    GitHub keeps underscores in slugs (``paper_scale`` →
+    ``paper_scale``), so they must survive here too.
+    """
     slug = heading.strip().lower()
-    slug = re.sub(r"[`*_.,:()§/+]", "", slug)
+    slug = re.sub(r"[`*.,:()§/+]", "", slug)
     slug = slug.replace(" ", "-")
     return re.sub(r"-{2,}", "-", slug).strip("-")
 

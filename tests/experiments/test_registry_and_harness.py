@@ -33,6 +33,7 @@ class TestRegistry:
             "pulse",
             "carpet",
             "multivector",
+            "paper_scale",
         ]
 
     def test_lookup_by_alias_and_case(self):

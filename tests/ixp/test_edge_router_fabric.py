@@ -240,3 +240,65 @@ class TestSwitchingFabric:
     def test_deliver_invalid_interval(self):
         with pytest.raises(ValueError):
             self._fabric().deliver([], interval=0)
+
+
+class TestMultiPopTopology:
+    def test_build_multi_pop_fabric_layout(self):
+        from repro.ixp import build_multi_pop_fabric
+
+        fabric = build_multi_pop_fabric(pop_count=3, routers_per_pop=2, seed=1)
+        routers = fabric.edge_routers()
+        assert len(routers) == 6
+        assert {router.pop for router in routers} == {"pop-1", "pop-2", "pop-3"}
+        assert routers[0].name == "edge-1-1"
+
+    def test_invalid_layout_rejected(self):
+        from repro.ixp import build_multi_pop_fabric
+
+        with pytest.raises(ValueError):
+            build_multi_pop_fabric(pop_count=0)
+
+    def test_member_population_mix_and_placement(self):
+        from repro.ixp import (
+            PortSpeedMix,
+            build_multi_pop_fabric,
+            make_member_population,
+        )
+
+        mix = PortSpeedMix(speeds_bps=(1e9, 10e9), weights=(0.5, 0.5))
+        members = make_member_population(
+            200, pop_count=4, port_mix=mix, honors_rtbh_fraction=0.3, seed=3
+        )
+        assert len(members) == 200
+        assert {member.port_capacity_bps for member in members} <= {1e9, 10e9}
+        assert {member.pop for member in members} == {
+            "pop-1", "pop-2", "pop-3", "pop-4",
+        }
+        honoring = sum(member.honors_rtbh for member in members)
+        assert 30 <= honoring <= 90  # ~30 % of 200, seeded
+
+        fabric = build_multi_pop_fabric(pop_count=4, routers_per_pop=2, seed=3)
+        for member in members:
+            fabric.connect_member(member)
+        # PoP affinity: every member landed on a router in its own PoP.
+        for member in members:
+            assert fabric.router_for_member(member.asn).pop == member.pop
+
+    def test_member_population_is_deterministic_per_seed(self):
+        from repro.ixp import make_member_population
+
+        a = make_member_population(50, seed=9)
+        b = make_member_population(50, seed=9)
+        assert [(m.asn, m.port_capacity_bps, m.pop, m.honors_rtbh) for m in a] == [
+            (m.asn, m.port_capacity_bps, m.pop, m.honors_rtbh) for m in b
+        ]
+
+    def test_port_speed_mix_validation(self):
+        from repro.ixp import PortSpeedMix
+
+        with pytest.raises(ValueError):
+            PortSpeedMix(speeds_bps=(1e9,), weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            PortSpeedMix(speeds_bps=(-1e9,), weights=(1.0,))
+        with pytest.raises(ValueError):
+            PortSpeedMix(speeds_bps=(1e9,), weights=(0.0,))

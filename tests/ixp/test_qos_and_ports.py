@@ -212,10 +212,22 @@ class TestMemberPort:
         assert len(port.rules()) == 1
         assert port.remove_rule("a")
 
-    def test_utilisation(self):
+    def test_utilisation_reports_true_oversubscription(self):
+        # 80 Mbit of demand against a 10 Mbit interval budget: the port is
+        # 8x oversubscribed and utilisation must say so (the old behaviour
+        # clamped to 1.0, hiding the overload from the paper-scale views).
         port = MemberPort(member=IxpMember(asn=64500, port_capacity_bps=1e6), port_id=1)
         result = port.deliver([make_flow(bytes_=10_000_000)], interval=10.0)
-        assert port.utilisation(result, 10.0) == pytest.approx(1.0)
+        assert port.utilisation(result, 10.0) == pytest.approx(8.0)
+        assert port.display_utilisation(result, 10.0) == pytest.approx(1.0)
+
+    def test_utilisation_below_capacity(self):
+        port = MemberPort(member=IxpMember(asn=64500, port_capacity_bps=1e6), port_id=1)
+        result = port.deliver([make_flow(bytes_=625_000)], interval=10.0)
+        assert port.utilisation(result, 10.0) == pytest.approx(0.5)
+        assert port.display_utilisation(result, 10.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            port.utilisation(result, 0.0)
 
     def test_total_filtered_bits_counter(self):
         member = IxpMember(asn=64500, port_capacity_bps=1e9)

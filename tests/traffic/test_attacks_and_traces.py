@@ -11,6 +11,7 @@ from repro.traffic import (
     AmplificationAttack,
     BenignTrafficSource,
     BooterAttack,
+    FlowTable,
     IpProtocol,
     IpfixCollector,
     IpfixExporter,
@@ -329,3 +330,63 @@ class TestIpfix:
     def test_invalid_sampling_rate(self):
         with pytest.raises(ValueError):
             IpfixExporter(exporter_id="x", sampling_rate=0)
+
+
+class TestIpfixSamplingParity:
+    """Table-path vs. record-path sampling at ``sampling_rate > 1``.
+
+    Both paths draw from the same uniform stream (the columnar path's one
+    ``rng.random(n)`` call consumes the generator exactly like n scalar
+    draws), so equal seeds must keep the same flows; and both estimators
+    must stay byte-unbiased.
+    """
+
+    def _flows(self, count=4000, bytes_=1500):
+        return [make_flow(bytes_=bytes_) for _ in range(count)]
+
+    def test_same_seed_keeps_identical_flow_sets(self):
+        flows = self._flows()
+        table = FlowTable.from_records(flows)
+        record_exporter = IpfixExporter(exporter_id="rec", sampling_rate=8, seed=11)
+        table_exporter = IpfixExporter(exporter_id="tab", sampling_rate=8, seed=11)
+        exported_records = record_exporter.export(flows, export_time=0.0)
+        exported_batch = table_exporter.export_table(table, export_time=0.0)
+        assert len(exported_records) == len(exported_batch)
+        assert record_exporter.exported_count == table_exporter.exported_count
+        record_bytes = [record.flow.bytes for record in exported_records]
+        table_bytes = exported_batch.table.bytes.tolist()
+        assert record_bytes == table_bytes
+
+    def test_both_paths_are_byte_unbiased(self):
+        true_total = 4000 * 1500
+        estimates = {"record": [], "table": []}
+        for seed in range(8):
+            flows = self._flows()
+            table = FlowTable.from_records(flows)
+            record_exporter = IpfixExporter(exporter_id="rec", sampling_rate=10, seed=seed)
+            table_exporter = IpfixExporter(
+                exporter_id="tab", sampling_rate=10, seed=100 + seed
+            )
+            estimates["record"].append(
+                sum(r.flow.bytes for r in record_exporter.export(flows, export_time=0.0))
+            )
+            estimates["table"].append(
+                table_exporter.export_table(table, export_time=0.0).table.total_bytes
+            )
+        for path, values in estimates.items():
+            mean = sum(values) / len(values)
+            assert mean == pytest.approx(true_total, rel=0.1), path
+        # The two estimators agree with each other statistically as well.
+        record_mean = sum(estimates["record"]) / len(estimates["record"])
+        table_mean = sum(estimates["table"]) / len(estimates["table"])
+        assert record_mean == pytest.approx(table_mean, rel=0.15)
+
+    def test_sampled_batch_scales_counters_by_rate(self):
+        flows = self._flows(count=1000, bytes_=1000)
+        table = FlowTable.from_records(flows)
+        exporter = IpfixExporter(exporter_id="tab", sampling_rate=4, seed=5)
+        batch = exporter.export_table(table, export_time=0.0)
+        assert exporter.observed_count == 1000
+        assert batch.sampling_rate == 4
+        if len(batch):
+            assert int(batch.table.bytes[0]) == 4000
