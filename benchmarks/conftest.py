@@ -9,6 +9,27 @@ be used to eyeball the reproduced numbers.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's headline numbers as ``BENCH_<name>.json``.
+
+    The perf-trajectory benchmarks (rule index, fabric delivery) call this
+    even under ``--benchmark-disable`` — their wall-clock measurements and
+    speedup assertions run as plain test code — so every CI run leaves a
+    machine-readable record of the measured speedups.  The output
+    directory defaults to the working directory (the repo root in CI) and
+    can be redirected with ``BENCH_OUTPUT_DIR``.
+    """
+    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
 
 def print_table(title: str, rows: list[tuple]) -> None:
     """Print a small aligned table below the benchmark output."""

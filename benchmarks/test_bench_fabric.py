@@ -18,7 +18,7 @@ here only the clock differs.
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.bgp import Prefix
 from repro.ixp import (
@@ -134,6 +134,17 @@ def test_bench_batched_speedup_240_members(benchmark):
             ("per-member", f"{per_member_seconds:.3f}", "1.0x"),
             ("batched", f"{batched_seconds:.3f}", f"{speedup:.1f}x"),
         ],
+    )
+    write_bench_json(
+        "fabric",
+        {
+            "member_count": member_count,
+            "flow_count": len(table),
+            "intervals": 3,
+            "per_member_seconds": per_member_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 5.0, (
         f"expected >= 5x batched speedup at {member_count} members, "

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..bgp.prefix import Prefix, parse_prefix
 from ..ixp.qos import FilterAction, FlowMatch, QosRule
@@ -169,6 +169,57 @@ class BlackholingRule:
     ) -> "BlackholingRule":
         """A copy of the rule with a different action (same identity)."""
         return replace(self, action=action, shape_rate_bps=shape_rate_bps)
+
+    @classmethod
+    def fine_grained_set(
+        cls,
+        owner_asn: int,
+        hosts: Sequence[str],
+        source_ports: Sequence[int],
+        count: int,
+        shape_every: int = 0,
+        shape_rate_bps: float = 1e6,
+        protocol: IpProtocol = IpProtocol.UDP,
+    ) -> "List[BlackholingRule]":
+        """A fine-grained rule set in the dominant Stellar shape.
+
+        ``count`` rules cycling over the cross product of the victim's
+        ``hosts`` (each a /32 destination) and the abused ``source_ports``
+        — one :meth:`drop_udp_source_port`-shaped rule per (host, port)
+        pair, host-major so consecutive rules cover one host across all
+        ports before moving on.  Every ``shape_every``-th rule (if > 0)
+        is a SHAPE telemetry rule at ``shape_rate_bps`` instead of a
+        DROP.  This is the workload generator of the ``fine_grained``
+        scenario: tens of thousands of such rules are what the paper's
+        scalability claim (Table 1, §5) says advanced blackholing handles
+        and pre-filtering hardware does not.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not hosts or not source_ports:
+            raise ValueError("need at least one host and one source port")
+        if count > len(hosts) * len(source_ports):
+            raise ValueError(
+                f"count {count} exceeds the {len(hosts)} x {len(source_ports)} "
+                "distinct (host, port) pairs"
+            )
+        rules: List[BlackholingRule] = []
+        for index in range(count):
+            host = hosts[index // len(source_ports)]
+            port = source_ports[index % len(source_ports)]
+            if shape_every > 0 and (index + 1) % shape_every == 0:
+                rules.append(
+                    cls.shape_udp_source_port(owner_asn, host, port, shape_rate_bps)
+                )
+            else:
+                rules.append(cls(
+                    owner_asn=owner_asn,
+                    dst_prefix=parse_prefix(host),
+                    action=RuleAction.DROP,
+                    protocol=protocol,
+                    src_port=port,
+                ))
+        return rules
 
     def __str__(self) -> str:
         parts = [f"{self.action.value} -> {self.dst_prefix}"]

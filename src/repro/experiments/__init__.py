@@ -57,6 +57,12 @@ from .cpu_update_rate import (
     CpuUpdateRateResult,
     run_cpu_update_rate_experiment,
 )
+from .fine_grained import (
+    FineGrainedConfig,
+    FineGrainedResult,
+    FineGrainedTrafficSource,
+    run_fine_grained_experiment,
+)
 from .functionality import (
     FunctionalityConfig,
     FunctionalityResult,
@@ -91,8 +97,10 @@ from .registry import (
 from .results import JsonResultMixin, ResultStore, to_jsonable
 from .scenario import (
     AttackScenario,
+    FineGrainedScenario,
     PaperScaleScenario,
     build_attack_scenario,
+    build_fine_grained_scenario,
     build_paper_scale_scenario,
 )
 from .stellar_attack import (
@@ -133,6 +141,10 @@ __all__ = [
     "CpuUpdateRateConfig",
     "CpuUpdateRateResult",
     "run_cpu_update_rate_experiment",
+    "FineGrainedConfig",
+    "FineGrainedResult",
+    "FineGrainedTrafficSource",
+    "run_fine_grained_experiment",
     "FunctionalityConfig",
     "FunctionalityResult",
     "run_functionality_experiment",
@@ -152,8 +164,10 @@ __all__ = [
     "ScalingResult",
     "run_scaling_experiment",
     "AttackScenario",
+    "FineGrainedScenario",
     "PaperScaleScenario",
     "build_attack_scenario",
+    "build_fine_grained_scenario",
     "build_paper_scale_scenario",
     "StellarAttackConfig",
     "StellarAttackResult",

@@ -25,6 +25,7 @@ from .attack_scenarios import (
     run_pulse_attack_experiment,
 )
 from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
+from .fine_grained import FineGrainedConfig, run_fine_grained_experiment
 from .collateral_damage import CollateralDamageConfig, run_collateral_damage_experiment
 from .cpu_update_rate import CpuUpdateRateConfig, run_cpu_update_rate_experiment
 from .functionality import FunctionalityConfig, run_functionality_experiment
@@ -272,6 +273,25 @@ register(
         runner=run_multi_vector_experiment,
         aliases=("multi-vector", "multi_vector"),
         quick_overrides={"duration": 700.0, "peer_count": 12},
+    )
+)
+register(
+    ExperimentSpec(
+        name="fine_grained",
+        figure="scenario",
+        title="Tens of thousands of fine-grained rules on the compiled match index",
+        config_cls=FineGrainedConfig,
+        runner=run_fine_grained_experiment,
+        aliases=("fine-grained", "rule-scale"),
+        quick_overrides={
+            "duration": 60.0,
+            "member_count": 60,
+            "protected_member_count": 6,
+            "rules_per_member": 150,
+            "hosts_per_member": 30,
+            "flows_per_interval": 8000,
+            "late_rule_time": 30.0,
+        },
     )
 )
 register(

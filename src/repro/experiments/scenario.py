@@ -260,6 +260,163 @@ def build_paper_scale_scenario(
     )
 
 
+@dataclass
+class FineGrainedScenario:
+    """A platform with tens of thousands of installed fine-grained rules.
+
+    The regime of the paper's scalability claim (Table 1, §5): many
+    members each hold a large set of Stellar drop/shape rules in the
+    dominant ``dst host + UDP + src_port`` shape (plus a few MAC
+    policy-control rules per member, which exercise the index's masked
+    fallback path), and every interval carries a mix of rule-targeted
+    reflection traffic and platform background across the multi-PoP
+    fabric.
+    """
+
+    fabric: SwitchingFabric
+    members: List[IxpMember]
+    #: The members holding fine-grained rule sets, in install order.
+    protected: List[IxpMember]
+    #: Every installed blackholing rule, per protected member ASN.
+    rules_by_member: "dict[int, list]"
+    #: All (dst_ip int, src_port, egress ASN) triples covered by a rule.
+    covered_pairs: "tuple"
+    #: The (dst_ip int, src_port, egress ASN) of the late-install rule.
+    late_pair: "tuple"
+
+    @property
+    def installed_rule_count(self) -> int:
+        return sum(len(rules) for rules in self.rules_by_member.values())
+
+
+#: UDP source ports of well-known reflection/amplification services, the
+#: ports fine-grained drop rules pin (NTP, DNS, SSDP, memcached, ...).
+REFLECTION_PORTS = (19, 53, 111, 123, 137, 161, 389, 520, 1900, 11211, 3702, 17185)
+
+
+def build_fine_grained_scenario(
+    member_count: int = 200,
+    pop_count: int = 4,
+    routers_per_pop: int = 2,
+    protected_member_count: int = 20,
+    rules_per_member: int = 600,
+    hosts_per_member: int = 50,
+    shape_every: int = 10,
+    shape_rate_bps: float = 5e6,
+    mac_rules_per_member: int = 2,
+    platform_capacity_bps: float = 25e12,
+    delivery_engine: str = "batched",
+    classification_engine: str = "indexed",
+    seed: int = 7,
+) -> FineGrainedScenario:
+    """Build the fine-grained rule-load scenario.
+
+    ``protected_member_count`` members each own a /16 and install
+    ``rules_per_member`` Stellar rules over ``hosts_per_member`` hosts ×
+    the :data:`REFLECTION_PORTS` pool (every ``shape_every``-th rule a
+    SHAPE telemetry rule), plus ``mac_rules_per_member`` MAC
+    policy-control drops.  Rules are staged through the routers' bulk
+    :meth:`~repro.ixp.edge_router.EdgeRouter.install_rules` path — the
+    scenario models the steady state *after* signalling, which is what
+    the classification data plane has to sustain every interval.
+
+    The edge routers use a QoS-pipeline hardware profile sized for the
+    requested rule count: the whole point of the paper's §4.5 design is
+    that egress QoS classification is not bounded by the pre-filtering
+    ACL/TCAM limits Fig. 9 charts for RTBH-style deployments.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..bgp.prefix import parse_prefix
+    from ..core.rules import BlackholingRule
+    from ..ixp.hardware_profiles import l_ixp_edge_router_profile
+    from ..traffic.flowtable import derived_mac, ip_to_int
+
+    if protected_member_count >= member_count:
+        raise ValueError("protected_member_count must be below member_count")
+    if protected_member_count < 1:
+        raise ValueError("need at least one protected member")
+    if rules_per_member > hosts_per_member * len(REFLECTION_PORTS):
+        raise ValueError(
+            f"rules_per_member {rules_per_member} exceeds the "
+            f"{hosts_per_member} x {len(REFLECTION_PORTS)} (host, port) pairs"
+        )
+
+    total_rules = protected_member_count * (rules_per_member + mac_rules_per_member)
+    base = l_ixp_edge_router_profile()
+    profile = dc_replace(
+        base,
+        name="l-ixp-edge-qos",
+        # Chassis-wide pools sized for the fine-grained load (each rule
+        # holds at most 3 L3-L4 criteria + possibly one MAC entry).
+        mac_filter_capacity=max(base.mac_filter_capacity, total_rules + 1024),
+        l3l4_criteria_capacity=max(base.l3l4_criteria_capacity, 3 * total_rules + 1024),
+    )
+    fabric = build_multi_pop_fabric(
+        pop_count=pop_count,
+        routers_per_pop=routers_per_pop,
+        platform_capacity_bps=platform_capacity_bps,
+        profile=profile,
+        delivery_engine=delivery_engine,
+        seed=seed,
+    )
+    members = make_member_population(member_count, pop_count=pop_count, seed=seed)
+    for member in members:
+        fabric.connect_member(member)
+
+    protected = members[:protected_member_count]
+    peer_asns = [member.asn for member in members[protected_member_count:]]
+    rules_by_member: dict[int, list] = {}
+    covered: List[tuple] = []
+    for index, member in enumerate(protected):
+        hosts = [
+            f"10.{index + 1}.{host >> 8}.{host & 255}"
+            for host in range(hosts_per_member)
+        ]
+        rules = BlackholingRule.fine_grained_set(
+            owner_asn=member.asn,
+            hosts=hosts,
+            source_ports=REFLECTION_PORTS,
+            count=rules_per_member,
+            shape_every=shape_every,
+            shape_rate_bps=shape_rate_bps,
+        )
+        # A few RTBH-policy-control style rules: drop everything a named
+        # peer sends towards the member's prefix.  MAC criteria force the
+        # index's masked fallback path, so the scenario exercises both
+        # compiled strategies every interval.
+        for mac_index in range(mac_rules_per_member):
+            peer_asn = peer_asns[(index + mac_index) % len(peer_asns)]
+            rules.append(
+                BlackholingRule(
+                    owner_asn=member.asn,
+                    dst_prefix=parse_prefix(f"10.{index + 1}.0.0/16"),
+                    src_mac=derived_mac(peer_asn),
+                )
+            )
+        router = fabric.router_for_member(member.asn)
+        router.install_rules(member.asn, [rule.to_qos_rule() for rule in rules])
+        rules_by_member[member.asn] = rules
+        for rule in rules[:rules_per_member]:
+            covered.append(
+                (rule.dst_prefix.int_bounds[0], rule.src_port, member.asn)
+            )
+    fabric.set_classification_engine(classification_engine)
+
+    # The late-install rule's (host, port) pair: a port outside the
+    # reflection pool towards the first protected member, so its traffic
+    # forwards until the mid-run install proves cache invalidation.
+    late_pair = (ip_to_int("10.1.0.0"), 6666, protected[0].asn)
+    return FineGrainedScenario(
+        fabric=fabric,
+        members=members,
+        protected=protected,
+        rules_by_member=rules_by_member,
+        covered_pairs=tuple(covered),
+        late_pair=late_pair,
+    )
+
+
 def build_attack_scenario(
     peer_count: int = 40,
     victim_port_capacity_bps: float = 10e9,

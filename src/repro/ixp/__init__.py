@@ -18,6 +18,7 @@ from .hardware_profiles import (
 from .member import IxpMember, default_mac
 from .port import MemberPort, PortCounters
 from .qos import (
+    CLASSIFICATION_ENGINES,
     FilterAction,
     FlowMatch,
     PortQosPolicy,
@@ -25,6 +26,7 @@ from .qos import (
     QosRule,
 )
 from .queues import RateLimiter, TokenBucket
+from .ruleindex import MatchSignature, RuleMatchIndex
 from .tcam import TcamExhaustedError, TcamModel, TcamStatus
 from .topology import (
     PortSpeedMix,
@@ -54,6 +56,7 @@ __all__ = [
     "default_mac",
     "MemberPort",
     "PortCounters",
+    "CLASSIFICATION_ENGINES",
     "FilterAction",
     "FlowMatch",
     "PortQosPolicy",
@@ -61,6 +64,8 @@ __all__ = [
     "QosRule",
     "RateLimiter",
     "TokenBucket",
+    "MatchSignature",
+    "RuleMatchIndex",
     "TcamExhaustedError",
     "TcamModel",
     "TcamStatus",

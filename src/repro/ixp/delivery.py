@@ -17,13 +17,25 @@ pass:
    preserved inside the global order;
 2. **classify** — one vectorized group-by over the whole interval
    :class:`~repro.traffic.flowtable.FlowTable` (``np.unique`` on the
-   egress column) plus one vectorized match pass per *rule* assigns every
-   row its verdict; per-rule matched bits fall out of a single
-   ``bincount``;
+   egress column), then each filtered member's slice is classified through
+   the port's :meth:`~repro.ixp.qos.PortQosPolicy.assign_table` — the
+   compiled :class:`~repro.ixp.ruleindex.RuleMatchIndex` by default, the
+   per-rule pass when the port runs the fallback engine; per-rule matched
+   bits fall out of a single ``bincount``;
 3. **scatter** — the verdicts are folded back into per-port
    :class:`~repro.ixp.qos.PortQosResult`\\ s (with deferred table views),
    :class:`~repro.ixp.port.PortCounters`, port history and the
-   ``rule_stats`` the telemetry layer ingests.
+   ``rule_stats`` the telemetry layer ingests.  The scatter iterates only
+   the rules that actually claimed rows, so a port with tens of thousands
+   of installed fine-grained rules costs O(claimed), not O(installed).
+
+Plans are cached across intervals: each plan snapshots every port's
+rule-set version counter (:attr:`~repro.ixp.qos.PortQosPolicy.rules_version`),
+and :meth:`SwitchingFabric.deliver` reuses the plan while
+:meth:`FabricDeliveryPlan.is_current` holds — rule installs/removals bump
+the counter, so only intervals after a configuration change recompile, and
+the per-port match indexes themselves are cached on the policies so
+untouched ports never recompile at all.
 
 The engine is bit-for-bit equal to the per-member loop (same float
 operations in the same order — ``tests/ixp/test_fabric_delivery.py`` pins
@@ -42,7 +54,15 @@ import numpy as np
 
 from ..traffic.flowtable import FlowTable
 from .port import MemberPort
-from .qos import FilterAction, PortQosResult, QosRule
+from .qos import (
+    _DROP_CODE,
+    _FORWARD_CODE,
+    FilterAction,
+    PortQosResult,
+    QosRule,
+    _group_rows,
+    _shape_rows_by_rank,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .fabric import FabricIntervalReport, SwitchingFabric
@@ -62,9 +82,10 @@ class CompiledRule:
 class FabricDeliveryPlan:
     """Compiled snapshot of a fabric's ports and QoS rules.
 
-    A plan is cheap to build (one walk over the connected ports), so the
-    fabric compiles a fresh one per delivery interval — rule installs and
-    removals between intervals are picked up automatically.
+    A plan is cheap to build (one walk over the connected ports), and it
+    records every port's rule-set version, so the fabric keeps reusing it
+    across delivery intervals until :meth:`is_current` reports that the
+    membership or some port's rules changed.
     """
 
     def __init__(self, fabric: "SwitchingFabric") -> None:
@@ -81,10 +102,19 @@ class FabricDeliveryPlan:
         #: sorted group-by the execution pass produces).
         self._rules: List[CompiledRule] = []
         self._rules_by_member: Dict[int, List[int]] = {}
+        #: First global index of each filtered member's contiguous rule
+        #: block (global index = start + port-local rank).
+        self._member_start: Dict[int, int] = {}
+        #: Rule-set version of every port at compile time (the cache key).
+        self._port_versions: Dict[int, int] = {}
         for asn in sorted(self._ports):
-            sorted_rules = self._ports[asn].qos.sorted_rules()
+            qos = self._ports[asn].qos
+            self._port_versions[asn] = qos.rules_version
+            sorted_rules = qos.sorted_rules()
             if not sorted_rules:
                 continue
+            start = len(self._rules)
+            self._member_start[asn] = start
             indices: List[int] = []
             for position, rule in enumerate(sorted_rules):
                 indices.append(len(self._rules))
@@ -107,6 +137,21 @@ class FabricDeliveryPlan:
     def compiled_rules(self) -> List[CompiledRule]:
         return list(self._rules)
 
+    def is_current(self) -> bool:
+        """True while the plan still matches the fabric's configuration.
+
+        Checked once per delivery interval: the member set must be
+        unchanged and every port's rule-set version must equal the
+        compile-time snapshot.  O(members) per check, versus an
+        O(total rules) recompile.
+        """
+        if self.fabric.member_asns != set(self._ports):
+            return False
+        return all(
+            port.qos.rules_version == self._port_versions[asn]
+            for asn, port in self._ports.items()
+        )
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -118,6 +163,14 @@ class FabricDeliveryPlan:
 
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if not self.is_current():
+            # Classification delegates to the live port policies while the
+            # scatter indexes this plan's snapshot; running a stale plan
+            # would silently attribute bits to the wrong rules.
+            raise RuntimeError(
+                "delivery plan is stale (rules or membership changed since "
+                "compile); rebuild via SwitchingFabric.current_delivery_plan()"
+            )
         report = FabricIntervalReport(interval_start=interval_start, interval=interval)
         n = len(table)
         if n == 0:
@@ -146,13 +199,11 @@ class FabricDeliveryPlan:
                 continue
             rows = rows_per_group[group_index]
             offered = float(bits[rows].sum())
-            rule_indices = self._rules_by_member.get(asn)
-            if rule_indices is None:
+            if asn not in self._rules_by_member:
                 result = self._passthrough_result(table, rows, offered, port, interval)
             else:
                 result = self._filtered_result(
-                    table, rows, rule_indices, assigned, bits, per_rule_bits,
-                    port, interval,
+                    table, rows, asn, assigned, bits, per_rule_bits, port, interval
                 )
             port.counters.update(offered, result)
             port.history.append((interval_start, result))
@@ -175,10 +226,12 @@ class FabricDeliveryPlan:
 
         Rules of different members are disjoint by the egress column, so
         each filtered member's rules are matched against that member's
-        row slice only — O(rules_m × flows_m) summed over the filtered
-        members, never O(total rules × total flows).  ``matches_table`` is
+        row slice only, through the port policy's shared
+        :meth:`~repro.ixp.qos.PortQosPolicy.assign_table` — the compiled
+        rule-match index on the default engine.  ``assign_table`` is
         row-wise, so verdicts on the slice equal verdicts on the full
-        table.
+        table; local ranks map to global rule indices by the member's
+        contiguous block offset.
         """
         if not any(
             asn in self._rules_by_member for asn in unique_asns.tolist()
@@ -186,19 +239,14 @@ class FabricDeliveryPlan:
             return None, None
         assigned = np.full(len(table), -1, dtype=np.int64)
         for group_index, asn in enumerate(unique_asns.tolist()):
-            rule_indices = self._rules_by_member.get(asn)
-            if rule_indices is None:
+            if asn not in self._rules_by_member:
                 continue
             rows = rows_per_group[group_index]
             member_table = table.select(rows)
-            unmatched = np.ones(len(rows), dtype=bool)
-            for global_index in rule_indices:
-                if not unmatched.any():
-                    break
-                rule = self._rules[global_index].rule
-                claimed = unmatched & rule.match.matches_table(member_table)
-                assigned[rows[claimed]] = global_index
-                unmatched &= ~claimed
+            ranks = self._ports[asn].qos.assign_table(member_table)
+            matched = ranks >= 0
+            if matched.any():
+                assigned[rows[matched]] = self._member_start[asn] + ranks[matched]
         matched = assigned >= 0
         per_rule_bits = np.bincount(
             assigned[matched], weights=bits[matched], minlength=len(self._rules)
@@ -234,7 +282,7 @@ class FabricDeliveryPlan:
         self,
         table: FlowTable,
         rows: np.ndarray,
-        rule_indices: List[int],
+        asn: int,
         assigned: np.ndarray,
         bits: np.ndarray,
         per_rule_bits: np.ndarray,
@@ -245,10 +293,18 @@ class FabricDeliveryPlan:
 
         Mirrors ``PortQosPolicy._apply_table`` operation for operation
         (same accumulation order, same float conversions) so the batched
-        engine stays bit-for-bit equal to the fallback.
+        engine stays bit-for-bit equal to the fallback.  Only the rules
+        that actually claimed rows are visited.
         """
         qos = port.qos
+        start = self._member_start[asn]
+        # Rules come from the plan's own snapshot (rank -> _rules[start +
+        # rank]); the is_current guard in execute() keeps it aligned with
+        # the live policy, and this avoids an O(installed) list copy per
+        # filtered member per interval.
         assigned_rows = assigned[rows]
+        matched = assigned_rows >= 0
+        local = (assigned_rows - start).astype(np.int64)
         rule_stats: Dict[str, Dict[str, float]] = {}
 
         def stats_for(rule: QosRule) -> Dict[str, float]:
@@ -256,31 +312,32 @@ class FabricDeliveryPlan:
                 rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
             )
 
-        forward_mask = assigned_rows < 0
-        drop_mask = np.zeros(len(rows), dtype=bool)
+        claimed = np.unique(local[matched]).tolist() if bool(matched.any()) else []
+        row_actions = np.full(len(rows), _FORWARD_CODE, dtype=np.int8)
+        if claimed:
+            row_actions[matched] = qos.action_codes()[local[matched]]
+        forward_mask = row_actions == _FORWARD_CODE
+        drop_mask = row_actions == _DROP_CODE
         shape_groups: Dict[str, List[int]] = {}
-        for global_index in rule_indices:
-            selected = assigned_rows == global_index
-            if not selected.any():
-                continue
-            rule = self._rules[global_index].rule
-            if rule.action is FilterAction.FORWARD:
-                forward_mask |= selected
-            elif rule.action is FilterAction.DROP:
-                drop_mask |= selected
-                matched_bits = float(per_rule_bits[global_index])
+        for rank in claimed:
+            rule = self._rules[start + rank].rule
+            if rule.action is FilterAction.DROP:
+                matched_bits = float(per_rule_bits[start + rank])
                 stats = stats_for(rule)
                 stats["matched"] += matched_bits
                 stats["dropped"] += matched_bits
-            else:  # SHAPE — rules sharing a shaper key share its budget.
-                shape_groups.setdefault(rule.rule_id or "anon", []).append(global_index)
+            elif rule.action is FilterAction.SHAPE:
+                # Rules sharing a shaper key share its budget (anonymous
+                # shape rules carry synthetic ids).
+                shape_groups.setdefault(rule.rule_id, []).append(rank)
 
+        rows_by_rank = _shape_rows_by_rank(local, row_actions)
         shaped_tables: List[FlowTable] = []
         shaped_passed = 0.0
         shaped_dropped = 0.0
-        for key, group_indices in shape_groups.items():
-            group_mask = np.isin(assigned_rows, group_indices)
-            group_rows = rows[group_mask]
+        for key, group_ranks in shape_groups.items():
+            positions = _group_rows(rows_by_rank, group_ranks)
+            group_rows = rows[positions]
             offered_bits = float(bits[group_rows].sum())
             shaper = qos.shaper_for(key)
             if shaper is None:
@@ -291,10 +348,10 @@ class FabricDeliveryPlan:
             scaled = table.select(group_rows).scaled(scale)
             shaped_tables.append(scaled)
             scaled_bits = scaled.bits
-            group_assigned = assigned_rows[group_mask]
-            for global_index in group_indices:
-                rule_bits = float(scaled_bits[group_assigned == global_index].sum())
-                stats = stats_for(self._rules[global_index].rule)
+            group_local = local[positions]
+            for rank in group_ranks:
+                rule_bits = float(scaled_bits[group_local == rank].sum())
+                stats = stats_for(self._rules[start + rank].rule)
                 stats["matched"] += rule_bits
                 stats["shaped"] += rule_bits
             shaped_passed += passed_bits

@@ -90,6 +90,7 @@ class SwitchingFabric:
             exporter_id=f"{name}-fabric", sampling_rate=ipfix_sampling_rate
         )
         self.reports: List[FabricIntervalReport] = []
+        self._plan_cache: Optional[FabricDeliveryPlan] = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -157,6 +158,42 @@ class SwitchingFabric:
         """Snapshot the connected ports + rules into a batched delivery plan."""
         return FabricDeliveryPlan(self)
 
+    def current_delivery_plan(self) -> FabricDeliveryPlan:
+        """The cached delivery plan, recompiled only when stale.
+
+        Plans snapshot every port's rule-set version
+        (:attr:`~repro.ixp.qos.PortQosPolicy.rules_version`); installs,
+        removals and membership changes invalidate the cache, so a
+        mid-run configuration change is picked up on the next interval
+        while steady-state intervals skip the recompile entirely — and
+        the per-port compiled match indexes are cached on the policies
+        themselves, so even a recompile only rebuilds touched ports'
+        indexes.
+        """
+        plan = self._plan_cache
+        if plan is None or not plan.is_current():
+            plan = self.compile_delivery_plan()
+            self._plan_cache = plan
+        return plan
+
+    def set_classification_engine(self, engine: str) -> None:
+        """Switch every connected port's QoS classification engine.
+
+        ``"indexed"`` (the default) or ``"per-rule"`` — the parity knob
+        the fine-grained experiments sweep.  Applies to currently
+        connected ports; ports connected later use the policy default.
+        """
+        from .qos import CLASSIFICATION_ENGINES
+
+        if engine not in CLASSIFICATION_ENGINES:
+            raise ValueError(
+                f"unknown classification engine {engine!r}; "
+                f"known: {', '.join(CLASSIFICATION_ENGINES)}"
+            )
+        for router in self._edge_routers.values():
+            for port in router.ports():
+                port.qos.classification_engine = engine
+
     def deliver(
         self,
         flows: Union[Iterable[FlowRecord], FlowTable],
@@ -185,7 +222,7 @@ class SwitchingFabric:
         if isinstance(flows, FlowTable):
             export_flows: Union[List[FlowRecord], FlowTable] = self._known_egress(flows)
             if engine == "batched":
-                report = self.compile_delivery_plan().execute(
+                report = self.current_delivery_plan().execute(
                     flows, interval, interval_start
                 )
             else:

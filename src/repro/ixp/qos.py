@@ -19,17 +19,31 @@ vectorized column matchers — the fast path the attack experiments run on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..bgp.prefix import Prefix, parse_prefix
 from ..traffic.flow import FlowRecord
-from ..traffic.flowtable import FlowTable, derived_mac, ingress_peers, population_bits
+from ..traffic.flowtable import (
+    FlowTable,
+    derived_mac,
+    ingress_peers,
+    population_bits,
+    prefix_mask,
+)
 from ..traffic.packet import IpProtocol
 from .queues import RateLimiter
+from .ruleindex import RuleMatchIndex
+
+#: Classification engines :meth:`PortQosPolicy.assign_table` can run:
+#: ``"indexed"`` (the default) classifies through the compiled
+#: :class:`~repro.ixp.ruleindex.RuleMatchIndex`; ``"per-rule"`` is the
+#: parity-tested fallback running one vectorized match pass per rule.
+CLASSIFICATION_ENGINES = ("indexed", "per-rule")
 
 
 class FilterAction(Enum):
@@ -113,10 +127,9 @@ class FlowMatch:
         for prefix, column in ((self.dst_prefix, table.dst_ip), (self.src_prefix, table.src_ip)):
             if prefix is None:
                 continue
-            if prefix.version != 4:
-                return np.zeros(n, dtype=bool)
-            low, high = prefix.int_bounds
-            mask &= (column >= low) & (column <= high)
+            mask &= prefix_mask(column, prefix)
+            if not mask.any():
+                return mask
         if self.src_mac is not None:
             target = self.src_mac.lower()
             if table.src_mac is None:
@@ -305,16 +318,76 @@ class PortQosResult:
         ) + population_bits(self.shaped_table, self._shaped, attack=True)
 
 
-class PortQosPolicy:
-    """The QoS policy configured on one member (egress) port."""
+#: Compact action codes used by the vectorized verdict scatter.
+_FORWARD_CODE, _DROP_CODE, _SHAPE_CODE = np.int8(0), np.int8(1), np.int8(2)
+_ACTION_CODES = {
+    FilterAction.FORWARD: _FORWARD_CODE,
+    FilterAction.DROP: _DROP_CODE,
+    FilterAction.SHAPE: _SHAPE_CODE,
+}
 
-    def __init__(self, port_capacity_bps: float) -> None:
+
+def _shape_rows_by_rank(
+    assigned: np.ndarray, row_actions: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Rows claimed by each SHAPE rule rank, ascending within each rank.
+
+    One stable group-by over the shaped rows replaces a per-shape-rule
+    ``np.isin`` scan of the whole interval — with thousands of installed
+    shape rules that scan was itself O(rules × flows).  Shared by the
+    per-member and batched delivery scatters.
+    """
+    shape_rows = np.flatnonzero(row_actions == _SHAPE_CODE)
+    if not len(shape_rows):
+        return {}
+    ranks = assigned[shape_rows]
+    order = np.argsort(ranks, kind="stable")
+    sorted_rows = shape_rows[order]
+    sorted_ranks = ranks[order]
+    unique, starts = np.unique(sorted_ranks, return_index=True)
+    return dict(zip(unique.tolist(), np.split(sorted_rows, starts[1:])))
+
+
+def _group_rows(rows_by_rank: Dict[int, np.ndarray], rule_indices: List[int]) -> np.ndarray:
+    """Rows of a shaper group's rules, in ascending (original) row order."""
+    if len(rule_indices) == 1:
+        return rows_by_rank[rule_indices[0]]
+    return np.sort(np.concatenate([rows_by_rank[index] for index in rule_indices]))
+
+
+class PortQosPolicy:
+    """The QoS policy configured on one member (egress) port.
+
+    ``classification_engine`` selects how columnar intervals are
+    classified: ``"indexed"`` (the default) compiles the sorted rules into
+    a :class:`~repro.ixp.ruleindex.RuleMatchIndex` cached behind
+    :attr:`rules_version` (the counter bumped by every :meth:`install` /
+    :meth:`remove` / :meth:`clear`), ``"per-rule"`` runs the parity-tested
+    one-pass-per-rule fallback.  Both produce identical verdicts.
+    """
+
+    def __init__(
+        self, port_capacity_bps: float, classification_engine: str = "indexed"
+    ) -> None:
         if port_capacity_bps <= 0:
             raise ValueError("port capacity must be positive")
+        if classification_engine not in CLASSIFICATION_ENGINES:
+            raise ValueError(
+                f"unknown classification engine {classification_engine!r}; "
+                f"known: {', '.join(CLASSIFICATION_ENGINES)}"
+            )
         self.port_capacity_bps = port_capacity_bps
+        self.classification_engine = classification_engine
         self._rules: List[QosRule] = []
         self._sorted_rules: List[QosRule] = []
         self._shapers: Dict[str, RateLimiter] = {}
+        #: Monotonic rule-set version; every mutation bumps it, and the
+        #: compiled index / fabric delivery plan caches key off it.
+        self._version = 0
+        self._index: Optional[RuleMatchIndex] = None
+        self._index_version = -1
+        self._action_codes: Optional[np.ndarray] = None
+        self._anon_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Rule management
@@ -325,20 +398,62 @@ class PortQosPolicy:
         self._sorted_rules = sorted(
             self._rules, key=lambda rule: rule.match.specificity, reverse=True
         )
+        self._version += 1
+        self._action_codes = None
+
+    def _normalise(self, rule: QosRule) -> QosRule:
+        """Give anonymous SHAPE rules a unique synthetic id.
+
+        Every SHAPE rule needs its own :class:`RateLimiter`; keying the
+        shaper (and the shaped-traffic grouping) off a per-policy
+        ``anon-<n>`` id means two anonymous rules with different rates can
+        no longer silently share one token bucket.
+        """
+        if rule.action is FilterAction.SHAPE and not rule.rule_id:
+            return replace(rule, rule_id=f"anon-{next(self._anon_ids)}")
+        return rule
+
+    def _attach(self, rule: QosRule) -> None:
+        self._rules.append(rule)
+        if rule.action is FilterAction.SHAPE:
+            self._shapers[rule.rule_id] = RateLimiter(rate_bps=rule.shape_rate_bps)
 
     def install(self, rule: QosRule) -> None:
         """Install a rule (replacing any existing rule with the same id)."""
+        rule = self._normalise(rule)
         if rule.rule_id:
             self._rules = [
                 existing for existing in self._rules if existing.rule_id != rule.rule_id
             ]
             self._shapers.pop(rule.rule_id, None)
-        self._rules.append(rule)
-        if rule.action is FilterAction.SHAPE:
-            # Anonymous shape rules share the "anon" shaper, matching how
-            # apply() groups their traffic.
-            shaper_key = rule.rule_id or "anon"
-            self._shapers[shaper_key] = RateLimiter(rate_bps=rule.shape_rate_bps)
+        self._attach(rule)
+        self._resort()
+
+    def install_many(self, rules: Iterable[QosRule]) -> None:
+        """Install a batch of rules with one re-sort and one version bump.
+
+        Semantically equivalent to calling :meth:`install` per rule (same
+        id-replacement behaviour, later duplicates win), but O(R log R)
+        for the whole batch instead of O(R² log R) — the path the
+        fine-grained scenario uses to stage tens of thousands of rules.
+        """
+        batch: List[QosRule] = []
+        seen: set[str] = set()
+        for rule in reversed([self._normalise(rule) for rule in rules]):
+            if rule.rule_id:
+                if rule.rule_id in seen:
+                    continue
+                seen.add(rule.rule_id)
+            batch.append(rule)
+        batch.reverse()
+        if not batch:
+            return
+        if seen:
+            self._rules = [rule for rule in self._rules if rule.rule_id not in seen]
+            for rule_id in seen:
+                self._shapers.pop(rule_id, None)
+        for rule in batch:
+            self._attach(rule)
         self._resort()
 
     def remove(self, rule_id: str) -> bool:
@@ -357,23 +472,58 @@ class PortQosPolicy:
 
         The batched fabric delivery engine compiles these into its
         platform-level rule set; the order is exactly the order
-        :meth:`classify` / ``_apply_table`` evaluate them in.
+        :meth:`classify` / ``_apply_table`` evaluate them in, and the rank
+        order :meth:`assign_table` reports.
         """
         return list(self._sorted_rules)
 
     def shaper_for(self, key: str) -> Optional[RateLimiter]:
-        """The stateful shaper behind a SHAPE rule id (``"anon"`` for
-        anonymous shape rules), shared with the batched delivery engine so
-        both engines drain the same token state."""
+        """The stateful shaper behind a SHAPE rule id, shared with the
+        batched delivery engine so both engines drain the same token
+        state.  Anonymous shape rules are keyed by their synthetic
+        ``anon-<n>`` id assigned at install time."""
         return self._shapers.get(key)
 
     def clear(self) -> None:
         self._rules.clear()
         self._sorted_rules.clear()
         self._shapers.clear()
+        self._version += 1
+        self._action_codes = None
 
     def __len__(self) -> int:
         return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Compiled-index cache
+    # ------------------------------------------------------------------
+    @property
+    def rules_version(self) -> int:
+        """Monotonic counter bumped by every rule-set mutation.
+
+        The compiled rule-match index and the fabric's cached delivery
+        plan are both keyed off it, so a mid-run ``install``/``remove`` is
+        picked up on the next interval without recompiling untouched
+        ports.
+        """
+        return self._version
+
+    def compiled_index(self) -> RuleMatchIndex:
+        """The rule-match index for the current rule set (cached per version)."""
+        if self._index is None or self._index_version != self._version:
+            self._index = RuleMatchIndex(self._sorted_rules)
+            self._index_version = self._version
+        return self._index
+
+    def action_codes(self) -> np.ndarray:
+        """Per-sorted-rule action codes (forward/drop/shape) for the scatter."""
+        if self._action_codes is None or len(self._action_codes) != len(self._sorted_rules):
+            self._action_codes = np.fromiter(
+                (_ACTION_CODES[rule.action] for rule in self._sorted_rules),
+                dtype=np.int8,
+                count=len(self._sorted_rules),
+            )
+        return self._action_codes
 
     # ------------------------------------------------------------------
     # Classification
@@ -384,6 +534,39 @@ class PortQosPolicy:
             if rule.match.matches(flow):
                 return rule
         return None
+
+    def assign_table(self, table: FlowTable) -> np.ndarray:
+        """Rank of each row's claiming rule in :meth:`sorted_rules` order.
+
+        ``-1`` means no rule matches (forward).  The configured
+        ``classification_engine`` decides how the ranks are computed; the
+        two engines are pinned verdict-for-verdict equal, so downstream
+        accounting is bit-for-bit identical either way.  This is the
+        shared classification entry point of both delivery engines: the
+        per-member loop calls it from ``_apply_table`` and the batched
+        fabric plan calls it per member slice.
+        """
+        n = len(table)
+        if not self._sorted_rules or n == 0:
+            return np.full(n, -1, dtype=np.int32)
+        if self.classification_engine == "indexed":
+            return self.compiled_index().assign(table)
+        if self.classification_engine != "per-rule":
+            raise ValueError(
+                f"unknown classification engine {self.classification_engine!r}; "
+                f"known: {', '.join(CLASSIFICATION_ENGINES)}"
+            )
+        # Per-rule fallback: one vectorized match pass per rule, first
+        # (most specific) match claims the row.
+        assigned = np.full(n, -1, dtype=np.int32)
+        unmatched = np.ones(n, dtype=bool)
+        for index, rule in enumerate(self._sorted_rules):
+            if not unmatched.any():
+                break
+            claimed = rule.match.matches_table(table) & unmatched
+            assigned[claimed] = index
+            unmatched &= ~claimed
+        return assigned
 
     def apply(
         self, flows: Union[Sequence[FlowRecord], FlowTable], interval: float
@@ -417,8 +600,8 @@ class PortQosPolicy:
                 stats = stats_for(rule)
                 stats["matched"] += flow.bits
                 stats["dropped"] += flow.bits
-            else:  # SHAPE
-                key = rule.rule_id or "anon"
+            else:  # SHAPE (anonymous shape rules carry synthetic ids)
+                key = rule.rule_id
                 shaped_by_rule.setdefault(key, []).append(flow)
                 shaped_assignment.setdefault(key, []).append(rule)
 
@@ -458,20 +641,24 @@ class PortQosPolicy:
             self.apply_congestion(result, interval)
             return result
 
-        # Assign each row to its most specific matching rule (rules are kept
-        # sorted by specificity, so the first rule to claim a row wins).
-        assigned = np.full(n, -1, dtype=np.int32)
-        unmatched = np.ones(n, dtype=bool)
-        for index, rule in enumerate(self._sorted_rules):
-            if not unmatched.any():
-                break
-            claimed = rule.match.matches_table(table) & unmatched
-            assigned[claimed] = index
-            unmatched &= ~claimed
+        # Assign each row to its most specific matching rule (the compiled
+        # index or the per-rule fallback, both rank-equivalent).
+        assigned = self.assign_table(table)
 
         bits = table.bits
-        forward_mask = assigned < 0
-        drop_mask = np.zeros(n, dtype=bool)
+        matched = assigned >= 0
+        # Per-rule matched bits and the set of rules that actually claimed
+        # rows fall out of one bincount/unique pass, so the verdict
+        # scatter below is O(claimed rules), not O(installed rules).
+        per_rank_bits = np.bincount(
+            assigned[matched], weights=bits[matched], minlength=len(self._sorted_rules)
+        )
+        claimed = np.unique(assigned[matched]).tolist()
+        row_actions = np.full(n, _FORWARD_CODE, dtype=np.int8)
+        if claimed:
+            row_actions[matched] = self.action_codes()[assigned[matched]]
+        forward_mask = row_actions == _FORWARD_CODE
+        drop_mask = row_actions == _DROP_CODE
         shape_groups: Dict[str, List[int]] = {}
 
         def stats_for(rule: QosRule) -> Dict[str, float]:
@@ -479,37 +666,35 @@ class PortQosPolicy:
                 rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
             )
 
-        for index, rule in enumerate(self._sorted_rules):
-            selected = assigned == index
-            if not selected.any():
-                continue
-            if rule.action is FilterAction.FORWARD:
-                forward_mask |= selected
-            elif rule.action is FilterAction.DROP:
-                drop_mask |= selected
-                matched_bits = float(bits[selected].sum())
+        for index in claimed:
+            rule = self._sorted_rules[index]
+            if rule.action is FilterAction.DROP:
+                matched_bits = float(per_rank_bits[index])
                 stats = stats_for(rule)
                 stats["matched"] += matched_bits
                 stats["dropped"] += matched_bits
-            else:  # SHAPE — group rules sharing a shaper key, as in the record path.
-                shape_groups.setdefault(rule.rule_id or "anon", []).append(index)
+            elif rule.action is FilterAction.SHAPE:
+                # Group rules sharing a shaper key, as in the record path
+                # (anonymous shape rules carry synthetic ids).
+                shape_groups.setdefault(rule.rule_id, []).append(index)
 
+        rows_by_rank = _shape_rows_by_rank(assigned, row_actions)
         shaped_tables: List[FlowTable] = []
         shaped_passed = 0.0
         shaped_dropped = 0.0
         for key, rule_indices in shape_groups.items():
-            group_mask = np.isin(assigned, rule_indices)
-            offered_bits = float(bits[group_mask].sum())
+            group_rows = _group_rows(rows_by_rank, rule_indices)
+            offered_bits = float(bits[group_rows].sum())
             shaper = self._shapers.get(key)
             if shaper is None:
                 passed_bits, dropped_bits = offered_bits, 0.0
             else:
                 passed_bits, dropped_bits = shaper.shape(offered_bits, interval)
             scale = passed_bits / offered_bits if offered_bits > 0 else 0.0
-            scaled = table.select(group_mask).scaled(scale)
+            scaled = table.select(group_rows).scaled(scale)
             shaped_tables.append(scaled)
             scaled_bits = scaled.bits
-            group_assigned = assigned[group_mask]
+            group_assigned = assigned[group_rows]
             for index in rule_indices:
                 rule_bits = float(scaled_bits[group_assigned == index].sum())
                 stats = stats_for(self._sorted_rules[index])

@@ -26,67 +26,35 @@ from __future__ import annotations
 
 import abc
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..bgp.prefix import Prefix
 from ..traffic.flow import FlowRecord
-from ..traffic.flowtable import FlowTable, ingress_peers, population_bits
+from ..traffic.flowtable import (
+    FlowTable,
+    ingress_peers,
+    match_mask,
+    member_mask,
+    population_bits,
+    prefix_mask,
+)
 
-
-# ----------------------------------------------------------------------
-# Shared vectorized mask matching
-# ----------------------------------------------------------------------
-def prefix_mask(column: np.ndarray, prefix: Prefix) -> np.ndarray:
-    """Rows of an integer IPv4 address ``column`` that fall inside ``prefix``.
-
-    Prefix containment over a ``uint32`` address column is two integer
-    comparisons; non-IPv4 prefixes match nothing (``FlowTable`` stores IPv4
-    only, mirroring the scalar ``Prefix.contains_address`` version check).
-    """
-    if prefix.version != 4:
-        return np.zeros(len(column), dtype=bool)
-    low, high = prefix.int_bounds
-    return (column >= low) & (column <= high)
-
-
-def member_mask(column: np.ndarray, members: Iterable[int]) -> np.ndarray:
-    """Rows of a member-ASN ``column`` whose ASN is in ``members``."""
-    members = list(members)
-    if not members:
-        return np.zeros(len(column), dtype=bool)
-    return np.isin(column, np.fromiter(members, dtype=np.int64, count=len(members)))
-
-
-def match_mask(
-    table: FlowTable,
-    dst_prefix: Optional[Prefix] = None,
-    src_prefix: Optional[Prefix] = None,
-    protocol: Optional[int] = None,
-    src_port: Optional[int] = None,
-    dst_port: Optional[int] = None,
-    ingress_members: Optional[Iterable[int]] = None,
-) -> np.ndarray:
-    """Vectorized five-tuple (+ ingress member) match over a flow table.
-
-    ``None`` criteria match everything — the columnar equivalent of the
-    per-record matchers of the ACL / Flowspec / RTBH models.
-    """
-    mask = np.ones(len(table), dtype=bool)
-    if dst_prefix is not None:
-        mask &= prefix_mask(table.dst_ip, dst_prefix)
-    if src_prefix is not None:
-        mask &= prefix_mask(table.src_ip, src_prefix)
-    if protocol is not None:
-        mask &= table.protocol == int(protocol)
-    if src_port is not None:
-        mask &= table.src_port == src_port
-    if dst_port is not None:
-        mask &= table.dst_port == dst_port
-    if ingress_members is not None:
-        mask &= member_mask(table.ingress_asn, ingress_members)
-    return mask
+# ``prefix_mask`` / ``member_mask`` / ``match_mask`` are the shared
+# vectorized mask helpers of the whole columnar data plane.  They are
+# defined next to :class:`FlowTable` (so the QoS layer and the compiled
+# rule-match index can reuse them without import cycles) and re-exported
+# here because this module is their historical home and the mitigation
+# strategies are their heaviest users.
+__all__ = [
+    "prefix_mask",
+    "member_mask",
+    "match_mask",
+    "flows_bits",
+    "Rating",
+    "Dimension",
+    "MitigationOutcome",
+    "MitigationTechnique",
+    "NoMitigation",
+]
 
 
 def flows_bits(

@@ -89,6 +89,67 @@ def derived_mac(asn: int) -> str:
     return f"02:00:00:00:{(asn >> 8) & 0xFF:02x}:{asn & 0xFF:02x}"
 
 
+# ----------------------------------------------------------------------
+# Shared vectorized mask matching
+# ----------------------------------------------------------------------
+# These helpers are the one implementation of columnar five-tuple matching.
+# Both data planes build on them: the mitigation strategies (via the
+# re-exports in :mod:`repro.mitigation.base`) and the QoS / rule-index
+# layer (:mod:`repro.ixp.qos`, :mod:`repro.ixp.ruleindex`).  They live here
+# rather than in either consumer because ``mitigation`` and ``ixp`` import
+# each other through :mod:`repro.core.rules`, while everything already
+# depends on the flow table.
+def prefix_mask(column: np.ndarray, prefix) -> np.ndarray:
+    """Rows of an integer IPv4 address ``column`` that fall inside ``prefix``.
+
+    Prefix containment over a ``uint32`` address column is two integer
+    comparisons; non-IPv4 prefixes match nothing (``FlowTable`` stores IPv4
+    only, mirroring the scalar ``Prefix.contains_address`` version check).
+    """
+    if prefix.version != 4:
+        return np.zeros(len(column), dtype=bool)
+    low, high = prefix.int_bounds
+    return (column >= low) & (column <= high)
+
+
+def member_mask(column: np.ndarray, members: Iterable[int]) -> np.ndarray:
+    """Rows of a member-ASN ``column`` whose ASN is in ``members``."""
+    members = list(members)
+    if not members:
+        return np.zeros(len(column), dtype=bool)
+    return np.isin(column, np.fromiter(members, dtype=np.int64, count=len(members)))
+
+
+def match_mask(
+    table: "FlowTable",
+    dst_prefix=None,
+    src_prefix=None,
+    protocol: Optional[int] = None,
+    src_port: Optional[int] = None,
+    dst_port: Optional[int] = None,
+    ingress_members: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Vectorized five-tuple (+ ingress member) match over a flow table.
+
+    ``None`` criteria match everything — the columnar equivalent of the
+    per-record matchers of the ACL / Flowspec / RTBH models.
+    """
+    mask = np.ones(len(table), dtype=bool)
+    if dst_prefix is not None:
+        mask &= prefix_mask(table.dst_ip, dst_prefix)
+    if src_prefix is not None:
+        mask &= prefix_mask(table.src_ip, src_prefix)
+    if protocol is not None:
+        mask &= table.protocol == int(protocol)
+    if src_port is not None:
+        mask &= table.src_port == src_port
+    if dst_port is not None:
+        mask &= table.dst_port == dst_port
+    if ingress_members is not None:
+        mask &= member_mask(table.ingress_asn, ingress_members)
+    return mask
+
+
 def group_sum(keys: np.ndarray, values: np.ndarray) -> dict:
     """Sum ``values`` grouped by ``keys`` (both 1-D arrays) into a dict.
 

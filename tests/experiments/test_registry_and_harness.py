@@ -33,6 +33,7 @@ class TestRegistry:
             "pulse",
             "carpet",
             "multivector",
+            "fine_grained",
             "paper_scale",
         ]
 

@@ -182,3 +182,97 @@ class TestPaperScaleScenario:
         a = run_paper_scale_experiment(config)
         b = run_paper_scale_experiment(config)
         assert a.to_dict() == b.to_dict()
+
+
+class TestFineGrainedScenario:
+    QUICK = dict(
+        duration=60.0,
+        member_count=50,
+        protected_member_count=5,
+        rules_per_member=120,
+        hosts_per_member=30,
+        flows_per_interval=5000,
+        late_rule_time=30.0,
+        seed=7,
+    )
+
+    def test_registry_lookup(self):
+        from repro.experiments import get_experiment
+
+        assert get_experiment("fine_grained").name == "fine_grained"
+        assert get_experiment("fine-grained").name == "fine_grained"
+        assert get_experiment("rule-scale").name == "fine_grained"
+
+    def test_rule_load_and_filtering(self):
+        from repro.experiments import FineGrainedConfig, run_fine_grained_experiment
+
+        result = run_fine_grained_experiment(FineGrainedConfig(**self.QUICK))
+        summary = result.summary()
+        # 5 x (120 + 2 MAC) installed up front, plus the late rule.
+        assert result.installed_rule_count == 5 * 122 + 1
+        assert summary["exact_rules"] >= 5 * 120
+        assert summary["fallback_rules"] == 5 * 2
+        # Most of the fine-grained rules actually see matching traffic,
+        # and a substantial share of the interval is filtered.
+        assert summary["matched_rules"] > 0.9 * 5 * 120
+        assert 0.1 < summary["filtered_fraction"] < 0.9
+
+    def test_late_rule_proves_cache_invalidation(self):
+        from repro.experiments import FineGrainedConfig, run_fine_grained_experiment
+
+        result = run_fine_grained_experiment(FineGrainedConfig(**self.QUICK))
+        # Before the mid-run install the late pair's traffic forwards;
+        # after it, the cached plan/index must pick the new rule up.
+        assert result.late_bits_before == 0.0
+        assert result.late_bits_after > 0.0
+        assert [name for _, name, _ in result.events] == ["late-rule-install"]
+
+    def test_classification_engines_agree_end_to_end(self):
+        from repro.experiments import FineGrainedConfig, run_fine_grained_experiment
+
+        results = {}
+        for engine in ("indexed", "per-rule"):
+            config = FineGrainedConfig(**self.QUICK, classification_engine=engine)
+            results[engine] = run_fine_grained_experiment(config).to_dict()
+        indexed, per_rule = results["indexed"], results["per-rule"]
+        # The config (and thus the engine name) is part of the payload;
+        # everything the engines *computed* must be identical.
+        indexed["config"].pop("classification_engine")
+        per_rule["config"].pop("classification_engine")
+        assert indexed == per_rule
+
+    def test_delivery_engines_agree_end_to_end(self):
+        from repro.experiments import FineGrainedConfig, run_fine_grained_experiment
+
+        results = {}
+        for engine in ("batched", "per-member"):
+            config = FineGrainedConfig(**self.QUICK, delivery_engine=engine)
+            results[engine] = run_fine_grained_experiment(config).to_dict()
+        batched, fallback = results["batched"], results["per-member"]
+        batched["config"].pop("delivery_engine")
+        fallback["config"].pop("delivery_engine")
+        assert batched == fallback
+
+    def test_deterministic_per_seed(self):
+        from repro.experiments import FineGrainedConfig, run_fine_grained_experiment
+
+        config = FineGrainedConfig(**self.QUICK)
+        a = run_fine_grained_experiment(config)
+        b = run_fine_grained_experiment(config)
+        assert a.to_dict() == b.to_dict()
+
+    def test_sweepable_over_rule_count(self):
+        from repro.experiments import Sweep, run_sweep
+
+        sweep = Sweep(
+            experiment="fine_grained",
+            grid={"rules_per_member": (60, 120)},
+            base={**self.QUICK, "duration": 30.0},
+            seed=44,
+        )
+        result = run_sweep(sweep, jobs=1)
+        assert len(result) == 2
+        installed = [
+            summary["installed_rules"] for summary in result.summaries()
+        ]
+        assert installed[1] - installed[0] == 5 * 60
