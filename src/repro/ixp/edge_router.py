@@ -51,7 +51,10 @@ class EdgeRouter:
         self.tcam: TcamModel = self.profile.make_tcam()
         self.cpu: ControlPlaneCpuModel = self.profile.make_cpu_model(seed=seed)
         self._ports_by_asn: Dict[int, MemberPort] = {}
-        self._installations: Dict[str, RuleInstallation] = {}
+        # Keyed by (port_id, rule_id): rule ids are scoped to one member
+        # port's policy, so the same id on two ports of this router is two
+        # independent installations, not a replacement.
+        self._installations: Dict[tuple[int, str], RuleInstallation] = {}
         self._next_port_id = 1
         #: Total number of configuration (rule add/remove) operations applied.
         self.config_operations = 0
@@ -103,13 +106,14 @@ class EdgeRouter:
         port = self.port_for(member_asn)
         mac_filters = rule.match.mac_filter_entries
         l3l4 = rule.match.l3l4_criteria
-        if rule.rule_id and rule.rule_id in self._installations:
-            # Replacing an existing rule: release the old footprint first.
+        if rule.rule_id and (port.port_id, rule.rule_id) in self._installations:
+            # Replacing an existing rule on this port: release the old
+            # footprint first.
             self.remove_rule(member_asn, rule.rule_id)
         self.tcam.allocate(port.port_id, mac_filters, l3l4)
         port.install_rule(rule)
         if rule.rule_id:
-            self._installations[rule.rule_id] = RuleInstallation(
+            self._installations[(port.port_id, rule.rule_id)] = RuleInstallation(
                 rule=rule, port_id=port.port_id, mac_filters=mac_filters, l3l4_criteria=l3l4
             )
         self.config_operations += 1
@@ -138,7 +142,7 @@ class EdgeRouter:
                 # replacement) — going through remove_rule here would cost
                 # one full policy re-sort per replaced rule.
                 old = (
-                    self._installations.pop(rule.rule_id, None)
+                    self._installations.pop((port.port_id, rule.rule_id), None)
                     if rule.rule_id
                     else None
                 )
@@ -158,7 +162,7 @@ class EdgeRouter:
                     self.config_operations += 1
                 allocated += 1
                 if rule.rule_id:
-                    self._installations[rule.rule_id] = RuleInstallation(
+                    self._installations[(port.port_id, rule.rule_id)] = RuleInstallation(
                         rule=rule,
                         port_id=port.port_id,
                         mac_filters=mac_filters,
@@ -177,7 +181,7 @@ class EdgeRouter:
         """Remove a rule and release its TCAM footprint."""
         port = self.port_for(member_asn)
         removed = port.remove_rule(rule_id)
-        installation = self._installations.pop(rule_id, None)
+        installation = self._installations.pop((port.port_id, rule_id), None)
         if installation is not None:
             self.tcam.release(
                 installation.port_id,
@@ -186,6 +190,28 @@ class EdgeRouter:
             )
         if removed:
             self.config_operations += 1
+        return removed
+
+    def clear_rules(self, member_asn: int) -> int:
+        """Remove every rule on a member's port and release its TCAM.
+
+        The TCAM pool is released wholesale via ``release_port``, which
+        also frees the footprint of anonymous (id-less) rules that never
+        got a :class:`RuleInstallation` record — going through per-rule
+        :meth:`remove_rule` calls would leak those.  Returns the number of
+        rules removed; clearing an empty port is a no-op (no config
+        operations, no policy version bump).
+        """
+        port = self.port_for(member_asn)
+        removed = len(port.qos)
+        port.qos.clear()
+        self.tcam.release_port(port.port_id)
+        self._installations = {
+            key: installation
+            for key, installation in self._installations.items()
+            if installation.port_id != port.port_id
+        }
+        self.config_operations += removed
         return removed
 
     def check_capacity(self, rule: QosRule) -> TcamStatus:

@@ -47,6 +47,38 @@ class FabricIntervalReport:
             return 0.0
         return self.offered_bits / self.interval
 
+    def to_dict(self) -> Dict:
+        """Canonical JSON-serializable view of the interval outcome.
+
+        Every number the delivery engines *compute* is included — platform
+        totals plus each member's bit accounting and per-rule stats — so
+        equality of two reports' ``to_dict()`` is the parity contract
+        between the ``batched`` and ``per-member`` engines (the fuzz suite
+        asserts it for arbitrary generated topologies and rule sets).
+        """
+        return {
+            "interval_start": self.interval_start,
+            "interval": self.interval,
+            "offered_bits": self.offered_bits,
+            "delivered_bits": self.delivered_bits,
+            "filtered_bits": self.filtered_bits,
+            "congestion_dropped_bits": self.congestion_dropped_bits,
+            "members": {
+                str(asn): {
+                    "forwarded_bits": result.forwarded_bits,
+                    "dropped_bits": result.dropped_bits,
+                    "shaped_passed_bits": result.shaped_passed_bits,
+                    "shaped_dropped_bits": result.shaped_dropped_bits,
+                    "congestion_dropped_bits": result.congestion_dropped_bits,
+                    "rule_stats": {
+                        rule_id: dict(stats)
+                        for rule_id, stats in sorted(result.rule_stats.items())
+                    },
+                }
+                for asn, result in sorted(self.results_by_member.items())
+            },
+        }
+
 
 #: Delivery engines :meth:`SwitchingFabric.deliver` can run.
 DELIVERY_ENGINES = ("batched", "per-member")

@@ -401,16 +401,25 @@ class PortQosPolicy:
         self._version += 1
         self._action_codes = None
 
-    def _normalise(self, rule: QosRule) -> QosRule:
+    def _normalise(self, rule: QosRule, taken: Optional[set] = None) -> QosRule:
         """Give anonymous SHAPE rules a unique synthetic id.
 
         Every SHAPE rule needs its own :class:`RateLimiter`; keying the
         shaper (and the shaped-traffic grouping) off a per-policy
         ``anon-<n>`` id means two anonymous rules with different rates can
-        no longer silently share one token bucket.
+        no longer silently share one token bucket.  Synthetic ids skip any
+        id already installed (or pending in the same batch via ``taken``),
+        so a caller-supplied rule literally named ``anon-<n>`` is never
+        silently replaced by a later anonymous install.
         """
         if rule.action is FilterAction.SHAPE and not rule.rule_id:
-            return replace(rule, rule_id=f"anon-{next(self._anon_ids)}")
+            existing = {existing.rule_id for existing in self._rules}
+            if taken:
+                existing |= taken
+            while True:
+                rule_id = f"anon-{next(self._anon_ids)}"
+                if rule_id not in existing:
+                    return replace(rule, rule_id=rule_id)
         return rule
 
     def _attach(self, rule: QosRule) -> None:
@@ -437,9 +446,16 @@ class PortQosPolicy:
         for the whole batch instead of O(R² log R) — the path the
         fine-grained scenario uses to stage tens of thousands of rules.
         """
+        normalised: List[QosRule] = []
+        taken: set[str] = set()
+        for rule in rules:
+            rule = self._normalise(rule, taken)
+            if rule.rule_id:
+                taken.add(rule.rule_id)
+            normalised.append(rule)
         batch: List[QosRule] = []
         seen: set[str] = set()
-        for rule in reversed([self._normalise(rule) for rule in rules]):
+        for rule in reversed(normalised):
             if rule.rule_id:
                 if rule.rule_id in seen:
                     continue
@@ -457,12 +473,20 @@ class PortQosPolicy:
         self._resort()
 
     def remove(self, rule_id: str) -> bool:
-        """Remove the rule with the given id.  Returns True if found."""
-        before = len(self._rules)
-        self._rules = [rule for rule in self._rules if rule.rule_id != rule_id]
+        """Remove the rule with the given id.  Returns True if found.
+
+        Removing an unknown id is a no-op: the rule-set version is *not*
+        bumped, so the compiled index and the fabric's cached delivery
+        plan stay warm instead of recompiling for a change that never
+        happened.
+        """
+        remaining = [rule for rule in self._rules if rule.rule_id != rule_id]
+        if len(remaining) == len(self._rules):
+            return False
+        self._rules = remaining
         self._shapers.pop(rule_id, None)
         self._resort()
-        return len(self._rules) != before
+        return True
 
     def rules(self) -> List[QosRule]:
         return list(self._rules)
@@ -485,6 +509,10 @@ class PortQosPolicy:
         return self._shapers.get(key)
 
     def clear(self) -> None:
+        """Drop every rule.  Clearing an already-empty policy is a no-op
+        (no version bump), mirroring :meth:`remove` on an unknown id."""
+        if not self._rules:
+            return
         self._rules.clear()
         self._sorted_rules.clear()
         self._shapers.clear()

@@ -1,0 +1,38 @@
+"""Shared test configuration: Hypothesis profiles and the fuzz package path.
+
+Two Hypothesis settings profiles are registered here so the same suite can
+run at two depths (see docs/TESTING.md):
+
+* ``fast`` — the default.  A bounded example budget with no deadline, so
+  the tier-1 ``python -m pytest -x -q`` run stays quick and free of
+  timing-induced flakes on loaded machines.
+* ``ci`` — the deep run the dedicated CI ``fuzz`` job uses: a much larger
+  example budget, still no deadline.  Failures shrink further and the
+  ``.hypothesis`` example database is uploaded as a build artifact so a
+  red CI run can be reproduced locally (copy the database next to the
+  repo root and re-run the failing test).
+
+Select a profile with ``HYPOTHESIS_PROFILE=ci python -m pytest tests/fuzz``.
+
+The ``tests`` directory is also put on ``sys.path`` so every test module
+can import the shared strategy library as ``from fuzz import strategies``
+— the single source of truth for rule/flow generation.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, settings
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+settings.register_profile("fast", max_examples=25, **_COMMON)
+settings.register_profile("ci", max_examples=250, print_blob=True, **_COMMON)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

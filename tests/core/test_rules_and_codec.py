@@ -3,6 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from fuzz.strategies import l4_ports, l4_protocols
+
 from repro.bgp import ExtendedCommunity, Prefix
 from repro.core import (
     BlackholingRule,
@@ -194,11 +196,7 @@ class TestCommunityCodec:
         other_ixp = ExtendedCommunity(type=0x80, subtype=0x01, global_admin=6695, local_admin=1)
         assert not self.codec.is_stellar_community(other_ixp)
 
-    @given(
-        st.sampled_from([IpProtocol.UDP, IpProtocol.TCP]),
-        st.integers(min_value=0, max_value=65535),
-        st.booleans(),
-    )
+    @given(l4_protocols, l4_ports, st.booleans())
     def test_property_port_rules_roundtrip(self, protocol, port, use_src):
         rule = BlackholingRule(
             owner_asn=64500,

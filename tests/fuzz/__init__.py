@@ -1,0 +1,10 @@
+"""Property-based stateful fuzzing of the dual data planes.
+
+The package hardens the repo's three parity contracts — indexed == per-rule
+classification, batched == per-member fabric delivery, table == record flow
+handling — with Hypothesis.  ``strategies`` is the shared source of truth
+for generated rules, flow tables and topologies; the test modules assert
+verdict parity, conservation invariants and (via ``RuleStateMachine``)
+cache/version/TCAM consistency under arbitrary interleavings of rule churn
+and delivery.  See docs/TESTING.md.
+"""

@@ -1,8 +1,17 @@
 """Tests for token buckets, rate limiters and the TCAM model."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
+from fuzz.strategies import (
+    offered_volumes,
+    shaping_intervals,
+    shaping_rates,
+    tcam_allocation_sequences,
+    token_amount_sequences,
+    token_bursts,
+    token_rates,
+)
 from repro.ixp import RateLimiter, TcamExhaustedError, TcamModel, TcamStatus, TokenBucket
 
 
@@ -57,11 +66,7 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, burst=1.0).try_consume(-1.0, now=0.0)
 
-    @given(
-        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
-        st.floats(min_value=0.5, max_value=10.0),
-        st.floats(min_value=1.0, max_value=20.0),
-    )
+    @given(token_amount_sequences, token_rates, token_bursts)
     def test_property_consumption_never_exceeds_refill_plus_burst(self, amounts, rate, burst):
         bucket = TokenBucket(rate=rate, burst=burst)
         consumed = 0.0
@@ -107,11 +112,7 @@ class TestRateLimiter:
         with pytest.raises(ValueError):
             RateLimiter(rate_bps=1.0).shape(1.0, 0.0)
 
-    @given(
-        st.floats(min_value=0.0, max_value=1e9),
-        st.floats(min_value=1.0, max_value=1e8),
-        st.floats(min_value=0.1, max_value=100.0),
-    )
+    @given(offered_volumes, shaping_rates, shaping_intervals)
     def test_property_conservation(self, offered, rate, interval):
         passed, dropped = RateLimiter(rate_bps=rate).shape(offered, interval)
         assert passed + dropped == pytest.approx(offered)
@@ -178,7 +179,7 @@ class TestTcamModel:
         with pytest.raises(ValueError):
             TcamModel(mac_filter_capacity=0, l3l4_criteria_capacity=1)
 
-    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=50))
+    @given(tcam_allocation_sequences)
     def test_property_usage_never_exceeds_capacity(self, allocations):
         tcam = TcamModel(mac_filter_capacity=40, l3l4_criteria_capacity=40)
         for port, (mac, l3l4) in enumerate(allocations):

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
+
+from fuzz.strategies import draw_sizes
 
 from repro.sim import (
     exponential_interarrivals,
@@ -86,6 +88,6 @@ class TestExponentialInterarrivals:
         with pytest.raises(ValueError):
             exponential_interarrivals(make_rng(1), 0.0, 10)
 
-    @given(st.integers(min_value=1, max_value=500))
+    @given(draw_sizes)
     def test_size_respected(self, size):
         assert exponential_interarrivals(make_rng(1), 1.0, size).shape == (size,)
