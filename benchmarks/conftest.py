@@ -27,6 +27,9 @@ def write_bench_json(name: str, payload: dict) -> Path:
     out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
+    # Stamp the host's core count into every record: scaling results
+    # (worker sweeps, pool speedups) are meaningless without it.
+    payload = {"cpu_count": os.cpu_count(), **payload}
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

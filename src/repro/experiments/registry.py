@@ -25,6 +25,7 @@ from .attack_scenarios import (
     run_pulse_attack_experiment,
 )
 from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
+from .city_scale import CityScaleConfig, run_city_scale_experiment
 from .fine_grained import FineGrainedConfig, run_fine_grained_experiment
 from .collateral_damage import CollateralDamageConfig, run_collateral_damage_experiment
 from .cpu_update_rate import CpuUpdateRateConfig, run_cpu_update_rate_experiment
@@ -291,6 +292,31 @@ register(
             "hosts_per_member": 30,
             "flows_per_interval": 8000,
             "late_rule_time": 30.0,
+        },
+    )
+)
+register(
+    ExperimentSpec(
+        name="city_scale",
+        figure="scenario",
+        title="City-scale platform (10k+ members) on the sharded interval pipeline",
+        config_cls=CityScaleConfig,
+        runner=run_city_scale_experiment,
+        aliases=("city-scale", "sharded"),
+        quick_overrides={
+            "duration": 240.0,
+            "interval": 30.0,
+            "member_count": 240,
+            "pop_count": 8,
+            "attack_peer_count": 24,
+            "attack_start": 30.0,
+            "attack_duration": 180.0,
+            "attack_peak_bps": 40e9,
+            "background_rate_bps": 4e11,
+            "background_flows_per_interval": 800,
+            "mitigation_time": 120.0,
+            "workers": 2,
+            "chunk_intervals": 2,
         },
     )
 )

@@ -27,6 +27,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..sim.rng import derive_seed
+from .parallel import spawn_context
 from .registry import get_experiment
 from .results import JsonResultMixin, ResultStore, to_jsonable
 
@@ -175,7 +176,11 @@ def run_sweep(
             store.save(keys[index], payload)
 
     if jobs > 1 and len(missing) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Pin the spawn start method explicitly: fork would inherit the
+        # parent's module state and make sweep results depend on the
+        # platform's default start method.  Same context as the shard
+        # pipeline (see repro.experiments.parallel).
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=spawn_context()) as pool:
             futures = {
                 pool.submit(_run_point, spec.name, points[index], sweep.quick): index
                 for index in missing

@@ -27,6 +27,7 @@ from .qos import (
 )
 from .queues import RateLimiter, TokenBucket
 from .ruleindex import MatchSignature, RuleMatchIndex
+from .shard import ShardPlanner, ShardSpec, merge_interval_reports, shard_for_member
 from .tcam import TcamExhaustedError, TcamModel, TcamStatus
 from .topology import (
     PortSpeedMix,
@@ -66,6 +67,10 @@ __all__ = [
     "TokenBucket",
     "MatchSignature",
     "RuleMatchIndex",
+    "ShardPlanner",
+    "ShardSpec",
+    "merge_interval_reports",
+    "shard_for_member",
     "TcamExhaustedError",
     "TcamModel",
     "TcamStatus",

@@ -206,7 +206,8 @@ class FabricDeliveryPlan:
                     table, rows, asn, assigned, bits, per_rule_bits, port, interval
                 )
             port.counters.update(offered, result)
-            port.history.append((interval_start, result))
+            if port.retain_history:
+                port.history.append((interval_start, result))
             report.results_by_member[asn] = result
             report.offered_bits += offered
             report.delivered_bits += result.delivered_bits

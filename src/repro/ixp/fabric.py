@@ -101,6 +101,9 @@ class SwitchingFabric:
         platform_capacity_bps: float = 25e12,
         ipfix_sampling_rate: int = 1,
         delivery_engine: str = "batched",
+        collect_ipfix: bool = True,
+        retain_reports: bool = True,
+        retain_history: bool = True,
     ) -> None:
         if platform_capacity_bps <= 0:
             raise ValueError("platform capacity must be positive")
@@ -114,6 +117,15 @@ class SwitchingFabric:
         #: Connected member capacity of the platform (25 Tbps at DE-CIX
         #: Frankfurt in 2017, paper footnote 1).
         self.platform_capacity_bps = platform_capacity_bps
+        #: Streaming knobs: an hour-long city-scale run delivers thousands
+        #: of intervals through one fabric, so accumulating every IPFIX
+        #: export, interval report and per-port result history would hold
+        #: the whole trace in memory.  Disabling retention changes no
+        #: delivered/filtered accounting — reports are still returned to
+        #: the caller, just not stored on the fabric.
+        self.collect_ipfix = collect_ipfix
+        self.retain_reports = retain_reports
+        self.retain_history = retain_history
         self._edge_routers: Dict[str, EdgeRouter] = {}
         self._members: Dict[int, IxpMember] = {}
         self._router_for_member: Dict[int, str] = {}
@@ -146,6 +158,7 @@ class SwitchingFabric:
         else:
             router = self._edge_routers[router_name]
         port = router.connect_member(member)
+        port.retain_history = self.retain_history
         self._members[member.asn] = member
         self._router_for_member[member.asn] = router.name
         return port
@@ -271,10 +284,12 @@ class SwitchingFabric:
                     export_flows.append(flow)
             report = self._deliver_per_member(dict(grouped), interval, interval_start)
 
-        self.collector.receive(
-            self._exporter.export(export_flows, export_time=interval_start)
-        )
-        self.reports.append(report)
+        if self.collect_ipfix:
+            self.collector.receive(
+                self._exporter.export(export_flows, export_time=interval_start)
+            )
+        if self.retain_reports:
+            self.reports.append(report)
         return report
 
     def _known_egress(self, flows: FlowTable) -> FlowTable:

@@ -52,6 +52,11 @@ class MemberPort:
         self.counters = PortCounters()
         #: Per-interval history of (interval_start, PortQosResult).
         self.history: List[tuple[float, PortQosResult]] = []
+        #: Whether :attr:`history` accumulates.  Hour-long streaming runs
+        #: disable it — each retained result closes over its interval's
+        #: flow tables, which would hold the whole trace in RAM.  The
+        #: cumulative :attr:`counters` always update.
+        self.retain_history: bool = True
 
     # ------------------------------------------------------------------
     @property
@@ -90,7 +95,8 @@ class MemberPort:
             offered_bits = float(sum(flow.bits for flow in flows))
         result = self.qos.apply(flows, interval)
         self.counters.update(offered_bits, result)
-        self.history.append((interval_start, result))
+        if self.retain_history:
+            self.history.append((interval_start, result))
         return result
 
     def utilisation(self, result: PortQosResult, interval: float) -> float:

@@ -78,6 +78,10 @@ def build_multi_pop_fabric(
     profile: Optional[HardwareProfile] = None,
     delivery_engine: str = "batched",
     seed: Optional[int] = None,
+    pop_indices: Optional[Sequence[int]] = None,
+    collect_ipfix: bool = True,
+    retain_reports: bool = True,
+    retain_history: bool = True,
 ) -> SwitchingFabric:
     """A fabric with ``pop_count`` PoPs of ``routers_per_pop`` edge routers.
 
@@ -85,16 +89,36 @@ def build_multi_pop_fabric(
     ``pop-1`` … ``pop-<pop_count>`` (the PoP naming
     :meth:`~repro.ixp.fabric.SwitchingFabric.connect_member` keys
     placement on).
+
+    ``pop_indices`` restricts construction to a subset of the PoPs while
+    keeping every router's name, PoP label and per-router seed identical
+    to the full build — a shard-local fabric built for PoPs ``(2, 5)`` of
+    a ten-PoP platform is indistinguishable, router for router, from
+    those PoPs inside the full fabric.  The streaming knobs pass through
+    to :class:`~repro.ixp.fabric.SwitchingFabric`.
     """
     if pop_count < 1 or routers_per_pop < 1:
         raise ValueError("pop_count and routers_per_pop must be positive")
+    if pop_indices is None:
+        pop_indices = range(1, pop_count + 1)
+    else:
+        pop_indices = sorted(int(index) for index in pop_indices)
+        if not pop_indices:
+            raise ValueError("pop_indices must be non-empty when given")
+        if pop_indices[0] < 1 or pop_indices[-1] > pop_count:
+            raise ValueError(
+                f"pop_indices must fall within 1..{pop_count}, got {pop_indices}"
+            )
     fabric = SwitchingFabric(
         name=name,
         platform_capacity_bps=platform_capacity_bps,
         delivery_engine=delivery_engine,
+        collect_ipfix=collect_ipfix,
+        retain_reports=retain_reports,
+        retain_history=retain_history,
     )
     profile = profile if profile is not None else l_ixp_edge_router_profile()
-    for pop_index in range(1, pop_count + 1):
+    for pop_index in pop_indices:
         for router_index in range(1, routers_per_pop + 1):
             fabric.add_edge_router(
                 EdgeRouter(

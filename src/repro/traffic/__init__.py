@@ -19,6 +19,7 @@ from .flow import (
 )
 from .flowtable import FlowTable, derived_mac, ints_to_ips, ip_to_int
 from .generator import IxpTraceGenerator, MemberAttackScenarioGenerator, RtbhEvent
+from .sharedtable import SharedFlowTable
 from .ipfix import ExportedRecord, ExportedTable, IpfixCollector, IpfixExporter
 from .packet import ETHERNET_MTU, IpProtocol, PacketTemplate, WellKnownPort
 from .profiles import (
@@ -55,6 +56,7 @@ __all__ = [
     "IxpTraceGenerator",
     "MemberAttackScenarioGenerator",
     "RtbhEvent",
+    "SharedFlowTable",
     "ExportedRecord",
     "ExportedTable",
     "IpfixCollector",

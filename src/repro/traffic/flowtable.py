@@ -46,18 +46,24 @@ COLUMNS = (
     "is_attack",
 )
 
+#: Per-column storage dtypes.  Columns are packed to the smallest dtype
+#: that can represent the domain: L4 ports are 16-bit by definition and
+#: member ASNs fit 32 bits (the simulator only models 16/32-bit AS
+#: numbers).  Packing halves the memory-bandwidth (and shared-memory
+#: transport) cost of the hottest columns at city scale; consumers that
+#: need wider arithmetic (e.g. the rule-index key packing) cast explicitly.
 _COLUMN_DTYPES = {
     "src_ip": np.uint32,
     "dst_ip": np.uint32,
     "protocol": np.uint8,
-    "src_port": np.int32,
-    "dst_port": np.int32,
+    "src_port": np.uint16,
+    "dst_port": np.uint16,
     "start": np.float64,
     "duration": np.float64,
     "bytes": np.int64,
     "packets": np.int64,
-    "ingress_asn": np.int64,
-    "egress_asn": np.int64,
+    "ingress_asn": np.int32,
+    "egress_asn": np.int32,
     "is_attack": np.bool_,
 }
 
@@ -258,14 +264,14 @@ class FlowTable:
         self.src_ip = np.asarray(src_ip, dtype=np.uint32)
         self.dst_ip = np.asarray(dst_ip, dtype=np.uint32)
         self.protocol = np.asarray(protocol, dtype=np.uint8)
-        self.src_port = np.asarray(src_port, dtype=np.int32)
-        self.dst_port = np.asarray(dst_port, dtype=np.int32)
+        self.src_port = np.asarray(src_port, dtype=np.uint16)
+        self.dst_port = np.asarray(dst_port, dtype=np.uint16)
         self.start = np.asarray(start, dtype=np.float64)
         self.duration = np.asarray(duration, dtype=np.float64)
         self.bytes = np.asarray(bytes, dtype=np.int64)
         self.packets = np.asarray(packets, dtype=np.int64)
-        self.ingress_asn = np.asarray(ingress_asn, dtype=np.int64)
-        self.egress_asn = np.asarray(egress_asn, dtype=np.int64)
+        self.ingress_asn = np.asarray(ingress_asn, dtype=np.int32)
+        self.egress_asn = np.asarray(egress_asn, dtype=np.int32)
         self.is_attack = np.asarray(is_attack, dtype=np.bool_)
         self.src_mac = None if src_mac is None else np.asarray(src_mac, dtype=object)
         length = len(self.src_ip)

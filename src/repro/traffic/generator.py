@@ -78,6 +78,12 @@ class IxpTraceGenerator:
     blackholed_rate_bps: float = 5e9
     rtbh_events: Sequence[RtbhEvent] = field(default_factory=tuple)
     flows_per_interval: int = 400
+    #: When set, regular traffic only *egresses* through these members
+    #: (ingress still draws from the full ``member_asns``).  The sharded
+    #: pipeline uses this to give each shard a generator whose traffic
+    #: leaves exclusively through that shard's members — classification
+    #: happens at egress, so partitioning by egress partitions the work.
+    egress_member_asns: Optional[Sequence[int]] = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -87,6 +93,12 @@ class IxpTraceGenerator:
             raise ValueError("interval and duration must be positive")
         self._rng = make_rng(self.seed)
         self._members_arr = np.asarray(list(self.member_asns), dtype=np.int64)
+        if self.egress_member_asns is None:
+            self._egress_arr = self._members_arr
+        else:
+            if not len(self.egress_member_asns):
+                raise ValueError("egress_member_asns must be non-empty when given")
+            self._egress_arr = np.asarray(list(self.egress_member_asns), dtype=np.int64)
         self._other_profile = other_traffic_profile()
 
     # ------------------------------------------------------------------
@@ -137,7 +149,7 @@ class IxpTraceGenerator:
         if egress_member is not None:
             egress = np.full(count, egress_member, dtype=np.int64)
         else:
-            egress = self._members_arr[rng.integers(0, len(self._members_arr), size=count)]
+            egress = self._egress_arr[rng.integers(0, len(self._egress_arr), size=count)]
         if dst_ip is not None:
             dst = np.full(count, ip_to_int(dst_ip), dtype=np.uint32)
         else:
@@ -209,17 +221,24 @@ class IxpTraceGenerator:
             is_attack=False,
         )
 
-    def generate(self) -> TrafficTrace:
-        """Generate the full trace (table-backed)."""
+    def iter_interval_tables(self):
+        """Stream the trace one observation interval at a time.
+
+        Yields ``(interval_start, table)`` pairs in time order, drawing
+        each interval's flow population lazily — the bounded-memory entry
+        point for hour-long city-scale runs, where materialising the whole
+        trace at once would hold every interval in RAM.  :meth:`generate`
+        consumes this same iterator, so the streamed tables concatenate to
+        exactly the monolithic trace (same RNG draw order, same rows).
+        """
         other_profile = self._other_profile
         blackholed_profile = blackholed_traffic_profile()
         events = list(self.rtbh_events)
         intervals = int(self.duration / self.interval)
-        tables: List[FlowTable] = []
         for i in range(intervals):
             interval_start = i * self.interval
             regular_bytes = self.regular_rate_bps * self.interval / 8
-            tables.append(
+            tables = [
                 self._profile_table(
                     other_profile,
                     regular_bytes,
@@ -227,7 +246,7 @@ class IxpTraceGenerator:
                     interval_start,
                     is_attack=False,
                 )
-            )
+            ]
             for event in events:
                 if not (event.start <= interval_start < event.start + event.duration):
                     continue
@@ -243,7 +262,13 @@ class IxpTraceGenerator:
                         egress_member=event.victim_member_asn,
                     )
                 )
-        return TrafficTrace(FlowTable.concat(tables))
+            yield interval_start, FlowTable.concat(tables)
+
+    def generate(self) -> TrafficTrace:
+        """Generate the full trace (table-backed)."""
+        return TrafficTrace(
+            FlowTable.concat([table for _, table in self.iter_interval_tables()])
+        )
 
 
 @dataclass

@@ -1,0 +1,204 @@
+"""Zero-copy transport of :class:`FlowTable` columns between processes.
+
+The sharded interval pipeline moves whole per-interval flow tables from
+worker processes back to the parent.  Pickling a 20k-row table costs a
+serialize + copy + deserialize round trip per interval per shard; a
+:class:`SharedFlowTable` instead places every column back-to-back in one
+``multiprocessing.shared_memory`` block and pickles only the metadata
+(block name, per-column dtype and offset).  The receiving process maps
+the block and builds a :class:`FlowTable` whose columns are NumPy views
+*into* the mapping — no row data is ever copied through a pipe.
+
+Lifecycle contract (single-producer, single-consumer):
+
+- the producer calls :meth:`from_table`, which copies the columns into a
+  fresh block exactly once.  With ``transfer=True`` the producer also
+  unregisters the block from its own ``resource_tracker`` so a worker
+  exiting does not tear the segment down under the consumer;
+- the handle is pickled (a few hundred bytes) to the consumer;
+- the consumer calls :meth:`table`, uses the view, then calls
+  :meth:`close` + :meth:`unlink` when done.  After ``unlink`` the block
+  name is gone and the handle is dead.
+
+Tables carrying an explicit ``src_mac`` column are rejected: object
+arrays hold Python references and cannot live in shared memory.  (The
+generators never set ``src_mac``; record-ingested tables do.)
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .flowtable import COLUMNS, FlowTable
+
+#: Byte alignment of each column within the block.  Eight bytes keeps the
+#: float64/int64 columns naturally aligned regardless of the packed
+#: uint16/uint8 columns preceding them.
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedFlowTable:
+    """A picklable handle to a :class:`FlowTable` stored in shared memory.
+
+    Only metadata crosses process boundaries; the column payload lives in
+    a single named ``SharedMemory`` block that both sides map directly.
+    """
+
+    __slots__ = ("shm_name", "rows", "layout", "nbytes", "_shm", "_table")
+
+    def __init__(
+        self,
+        shm_name: Optional[str],
+        rows: int,
+        layout: Tuple[Tuple[str, str, int], ...],
+        nbytes: int,
+    ) -> None:
+        self.shm_name = shm_name
+        self.rows = rows
+        #: ``(column_name, dtype_str, byte_offset)`` per column.
+        self.layout = layout
+        #: Total payload size of the block (0 for an empty table).
+        self.nbytes = nbytes
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._table: Optional[FlowTable] = None
+
+    # ------------------------------------------------------------------
+    # Construction (producer side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: FlowTable, *, transfer: bool = False) -> "SharedFlowTable":
+        """Copy ``table``'s columns into a fresh shared-memory block.
+
+        ``transfer=True`` declares that ownership of the block passes to
+        another process (the normal worker → parent direction): the
+        producer's resource tracker forgets the block, so only the
+        consumer's eventual :meth:`unlink` destroys it.
+        """
+        if table.src_mac is not None:
+            raise ValueError(
+                "tables with an explicit src_mac column cannot be shared "
+                "(object arrays hold process-local references)"
+            )
+        rows = len(table)
+        layout: List[Tuple[str, str, int]] = []
+        offset = 0
+        for name in COLUMNS:
+            column = getattr(table, name)
+            offset = _aligned(offset)
+            layout.append((name, column.dtype.str, offset))
+            offset += column.nbytes
+        handle = cls(None, rows, tuple(layout), offset)
+        if rows == 0:
+            return handle
+        shm = shared_memory.SharedMemory(create=True, size=offset)
+        try:
+            for name, dtype, start in handle.layout:
+                column = getattr(table, name)
+                view = np.ndarray(rows, dtype=np.dtype(dtype), buffer=shm.buf, offset=start)
+                view[:] = column
+            if transfer:
+                _untrack(shm)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        handle.shm_name = shm.name
+        handle._shm = shm
+        return handle
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def table(self) -> FlowTable:
+        """The :class:`FlowTable` view into the shared block (zero-copy).
+
+        The returned table's columns alias the mapping — they stay valid
+        only until :meth:`close`.  Calling again returns the same view.
+        """
+        if self._table is not None:
+            return self._table
+        if self.rows == 0 or self.shm_name is None:
+            self._table = FlowTable.empty()
+            return self._table
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.shm_name)
+        columns = {
+            name: np.ndarray(
+                self.rows, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+            )
+            for name, dtype, start in self.layout
+        }
+        # Same-dtype np.asarray in the FlowTable constructor passes the
+        # views through untouched, so this construction copies nothing.
+        self._table = FlowTable(**columns)
+        return self._table
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self._table = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the block.  Call once, from the consuming side."""
+        if self.shm_name is None:
+            return
+        shm = self._shm
+        if shm is None:
+            try:
+                shm = shared_memory.SharedMemory(name=self.shm_name)
+            except FileNotFoundError:
+                self.shm_name = None
+                return
+        self._table = None
+        self._shm = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        self.shm_name = None
+
+    def release(self) -> None:
+        """Close and unlink in one call (the consumer's epilogue)."""
+        self.close()
+        self.unlink()
+
+    # ------------------------------------------------------------------
+    # Pickling — metadata only
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.shm_name, self.rows, self.layout, self.nbytes)
+
+    def __setstate__(self, state) -> None:
+        self.shm_name, self.rows, self.layout, self.nbytes = state
+        self._shm = None
+        self._table = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedFlowTable(name={self.shm_name!r}, rows={self.rows}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Unregister ``shm`` from this process's resource tracker.
+
+    CPython's tracker unlinks every registered segment when the creating
+    process exits — correct for forgotten blocks, wrong for blocks whose
+    ownership moved to the parent.  Unregistering is best-effort: on
+    platforms without a POSIX tracker this is a no-op.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - platform-dependent
+        pass

@@ -34,6 +34,7 @@ class TestRegistry:
             "carpet",
             "multivector",
             "fine_grained",
+            "city_scale",
             "paper_scale",
         ]
 

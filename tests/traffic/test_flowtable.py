@@ -174,6 +174,89 @@ class TestTraceBackends:
         assert rates_a == pytest.approx(rates_b)
 
 
+class TestPackedDtypes:
+    """Port and ASN columns use packed dtypes without losing range."""
+
+    def test_column_dtypes_are_packed(self):
+        table = FlowTable.from_records([make_flow()])
+        assert table.src_port.dtype == np.uint16
+        assert table.dst_port.dtype == np.uint16
+        assert table.ingress_asn.dtype == np.int32
+        assert table.egress_asn.dtype == np.int32
+
+    def test_extreme_values_round_trip(self):
+        flow = make_flow(src_port=65535, dst_port=0, ingress=4_200_000_000 // 2)
+        table = FlowTable.from_records([flow])
+        restored = table.to_records()[0]
+        assert restored.key.src_port == 65535
+        assert restored.key.dst_port == 0
+        assert restored.ingress_member_asn == flow.ingress_member_asn
+
+    def test_packed_columns_still_aggregate(self):
+        from repro.traffic.flowtable import member_mask
+
+        table = FlowTable.from_records(
+            [make_flow(src_port=53, ingress=65001), make_flow(src_port=53, ingress=65002)]
+        )
+        assert table.bytes[member_mask(table.ingress_asn, [65001])].sum() > 0
+        assert 53 in set(np.unique(table.service_ports()))
+
+
+class TestStreamingIntervals:
+    """iter_interval_tables streams exactly what generate() materializes."""
+
+    def _generator(self, seed=21, **overrides):
+        params = dict(
+            member_asns=[65000 + i for i in range(12)],
+            duration=300.0,
+            interval=60.0,
+            regular_rate_bps=2e9,
+            blackholed_rate_bps=4e8,
+            flows_per_interval=80,
+            seed=seed,
+        )
+        params.update(overrides)
+        return IxpTraceGenerator(**params)
+
+    def test_chunked_totals_match_monolithic(self):
+        streamed = list(self._generator().iter_interval_tables())
+        trace = self._generator().generate()
+        assert [start for start, _ in streamed] == [0.0, 60.0, 120.0, 180.0, 240.0]
+        total = sum(int(table.bytes.sum()) for _, table in streamed)
+        assert total == trace.total_bytes
+        combined = FlowTable.concat([table for _, table in streamed])
+        assert len(combined) == len(trace.table)
+        assert np.array_equal(combined.bytes, trace.table.bytes)
+        assert np.array_equal(combined.start, trace.table.start)
+
+    def test_each_interval_stays_in_window(self):
+        for start, table in self._generator().iter_interval_tables():
+            if len(table):
+                assert table.start.min() >= start
+                assert table.start.max() < start + 60.0
+
+    def test_egress_restriction_only_narrows_egress(self):
+        allowed = [65003, 65007]
+        restricted = self._generator(egress_member_asns=allowed)
+        for _, table in restricted.iter_interval_tables():
+            if len(table):
+                assert set(np.unique(table.egress_asn)) <= set(allowed)
+                # Ingress still draws from the whole membership.
+        assert restricted._egress_arr is not restricted._members_arr
+
+    def test_default_egress_pool_keeps_rng_stream(self):
+        default = self._generator().generate()
+        explicit = self._generator(
+            egress_member_asns=[65000 + i for i in range(12)]
+        ).generate()
+        assert default.total_bytes == explicit.total_bytes
+        assert np.array_equal(default.table.egress_asn, explicit.table.egress_asn)
+
+    def test_empty_egress_pool_rejected(self):
+        with pytest.raises(ValueError):
+            self._generator(egress_member_asns=[])
+
+
 class TestStatisticalParity:
     """The vectorized generators keep the §2.3 traffic structure."""
 

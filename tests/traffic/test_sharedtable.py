@@ -1,0 +1,125 @@
+"""Shared-memory FlowTable transport: round-trip, zero-copy, lifecycle.
+
+These tests exercise :class:`SharedFlowTable` inside one process — the
+attach path is identical cross-process (the handle pickles to metadata
+and the consumer maps the named block), which the end-to-end pipeline
+tests cover; here the contract itself is pinned down.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.traffic import FlowTable, IxpTraceGenerator, SharedFlowTable
+from repro.traffic.flowtable import COLUMNS
+
+
+def make_table(rows=500, seed=3):
+    generator = IxpTraceGenerator(
+        member_asns=[65001, 65002, 65003, 65004],
+        duration=10.0,
+        interval=10.0,
+        regular_rate_bps=4e9,
+        flows_per_interval=rows,
+        seed=seed,
+    )
+    return generator.generate().table
+
+
+def tables_equal(a: FlowTable, b: FlowTable) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(getattr(a, name), getattr(b, name)) for name in COLUMNS
+    )
+
+
+class TestRoundTrip:
+    def test_columns_and_dtypes_survive(self):
+        table = make_table()
+        handle = SharedFlowTable.from_table(table)
+        try:
+            restored = handle.table()
+            assert tables_equal(table, restored)
+            for name in COLUMNS:
+                assert getattr(restored, name).dtype == getattr(table, name).dtype
+        finally:
+            handle.release()
+
+    def test_pickle_round_trip_reattaches(self):
+        table = make_table(rows=200)
+        handle = SharedFlowTable.from_table(table)
+        try:
+            payload = pickle.dumps(handle)
+            remote = pickle.loads(payload)
+            assert tables_equal(table, remote.table())
+            remote.close()
+        finally:
+            handle.release()
+
+    def test_empty_table_needs_no_block(self):
+        handle = SharedFlowTable.from_table(FlowTable.empty())
+        assert handle.shm_name is None
+        assert len(handle.table()) == 0
+        handle.release()
+
+
+class TestZeroCopy:
+    def test_view_aliases_the_shared_block(self):
+        table = make_table()
+        handle = SharedFlowTable.from_table(table)
+        try:
+            view = handle.table()
+            # Columns are views into the mapping, not owned copies, and
+            # repeated calls return the same cached view.
+            assert not view.bytes.flags.owndata
+            assert handle.table() is view
+        finally:
+            handle.release()
+
+    def test_pickle_payload_is_metadata_sized(self):
+        small = SharedFlowTable.from_table(make_table(rows=10))
+        large = SharedFlowTable.from_table(make_table(rows=5000))
+        try:
+            small_payload = len(pickle.dumps(small))
+            large_payload = len(pickle.dumps(large))
+            assert large_payload == pytest.approx(small_payload, abs=64)
+            assert large_payload < 2048
+        finally:
+            small.release()
+            large.release()
+
+
+class TestLifecycle:
+    def test_src_mac_tables_are_rejected(self):
+        table = make_table(rows=4)
+        macs = np.array(["02:00:00:00:00:01"] * len(table), dtype=object)
+        with_macs = FlowTable(
+            src_mac=macs, **{name: getattr(table, name) for name in COLUMNS}
+        )
+        with pytest.raises(ValueError):
+            SharedFlowTable.from_table(with_macs)
+
+    def test_unlink_destroys_the_block(self):
+        handle = SharedFlowTable.from_table(make_table(rows=50))
+        name = handle.shm_name
+        handle.release()
+        assert handle.shm_name is None
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_release_is_idempotent(self):
+        handle = SharedFlowTable.from_table(make_table(rows=50))
+        handle.release()
+        handle.release()
+
+    def test_transfer_still_readable_by_consumer(self):
+        table = make_table(rows=80)
+        handle = SharedFlowTable.from_table(table, transfer=True)
+        try:
+            consumer = pickle.loads(pickle.dumps(handle))
+            assert tables_equal(table, consumer.table())
+            consumer.release()
+        finally:
+            handle.close()
