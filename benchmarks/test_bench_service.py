@@ -1,0 +1,116 @@
+"""Control-plane service throughput and coalescing amortization.
+
+The tentpole claim of the control-plane service: coalescing a drained
+batch of same-port installs into one ``install_many`` amortizes the
+``rules_version`` bumps (and therefore the compiled-index recompiles and
+fabric plan rebuilds keyed on them) without changing a single delivery
+verdict.  The benchmark pushes a 10 000-member bursty churn stream
+through the service twice — coalescing on and off — checks the interval
+reports stay bit-for-bit identical, asserts the recompile amortization
+is at least :data:`AMORTIZATION_FLOOR`, and persists the headline
+numbers (requests/s, virtual p50/p99 propagation latency, version bumps
+per mode) as ``BENCH_service.json``.
+"""
+
+import time
+
+from conftest import print_table, write_bench_json
+
+from repro.experiments.rule_churn import RuleChurnConfig, run_rule_churn_experiment
+
+#: 10k members with install-heavy bursty churn — the workload coalescing
+#: exists for.  Two routers per PoP keeps 16 lanes busy.
+BASE = dict(
+    duration=120.0,
+    interval=10.0,
+    member_count=10_000,
+    pop_count=8,
+    routers_per_pop=2,
+    churn_events_per_second=8.0,
+    burst_min=8,
+    burst_max=32,
+    remove_fraction=0.10,
+    clear_fraction=0.0,
+    telemetry_fraction=0.05,
+    attack_peer_count=50,
+    attack_start=10.0,
+    attack_duration=100.0,
+    background_rate_bps=5e11,
+    background_flows_per_interval=5000,
+    mitigation_time=60.0,
+    seed=20,
+)
+
+#: Coalescing must cut index recompiles by at least this factor.
+AMORTIZATION_FLOOR = 10.0
+
+
+def timed_run(coalesce: bool):
+    start = time.perf_counter()
+    result = run_rule_churn_experiment(RuleChurnConfig(coalesce=coalesce, **BASE))
+    return time.perf_counter() - start, result
+
+
+def test_bench_service_coalescing_amortization(benchmark):
+    off_seconds, off = timed_run(coalesce=False)
+    holder = {}
+
+    def coalesced_run():
+        holder["point"] = timed_run(coalesce=True)
+
+    benchmark.pedantic(coalesced_run, rounds=1)
+    on_seconds, on = holder["point"]
+
+    # Parity before performance: coalescing must not change one verdict.
+    assert on.report_digest == off.report_digest
+    assert on.stats["submitted"] == off.stats["submitted"]
+    assert on.stats["applied_requests"] == off.stats["applied_requests"]
+
+    amortization = off.rules_version_bumps / on.rules_version_bumps
+    assert amortization >= AMORTIZATION_FLOOR, (
+        f"coalescing only amortized {amortization:.1f}x of the "
+        f"{off.rules_version_bumps} rules_version bumps"
+    )
+    assert on.ops_per_data_plane_call > 1.0
+
+    payload = {
+        "member_count": BASE["member_count"],
+        "amortization": amortization,
+        "coalesce_on": {
+            "seconds": on_seconds,
+            "requests_per_second": on.stats["submitted"] / on_seconds,
+            "latency_p50_s": on.latency["p50"],
+            "latency_p99_s": on.latency["p99"],
+            "rules_version_bumps": on.rules_version_bumps,
+            "data_plane_calls": on.stats["data_plane_calls"],
+            "ops_per_data_plane_call": on.ops_per_data_plane_call,
+        },
+        "coalesce_off": {
+            "seconds": off_seconds,
+            "requests_per_second": off.stats["submitted"] / off_seconds,
+            "latency_p50_s": off.latency["p50"],
+            "latency_p99_s": off.latency["p99"],
+            "rules_version_bumps": off.rules_version_bumps,
+            "data_plane_calls": off.stats["data_plane_calls"],
+            "ops_per_data_plane_call": off.ops_per_data_plane_call,
+        },
+    }
+    write_bench_json("service", payload)
+
+    rows = [("mode", "seconds", "req/s", "p50 s", "p99 s", "version bumps")]
+    for label, seconds, result in (
+        ("coalesced", on_seconds, on),
+        ("one-at-a-time", off_seconds, off),
+    ):
+        rows.append(
+            (
+                label,
+                f"{seconds:.2f}",
+                f"{result.stats['submitted'] / seconds:.0f}",
+                f"{result.latency['p50']:.2f}",
+                f"{result.latency['p99']:.2f}",
+                result.rules_version_bumps,
+            )
+        )
+    rows.append(("amortization", f"{amortization:.1f}x", "-", "-", "-", "-"))
+    print_table("Control-plane service, 10k-member bursty churn", rows)

@@ -33,6 +33,7 @@ from .functionality import FunctionalityConfig, run_functionality_experiment
 from .policy_control import PolicyControlConfig, run_policy_control_experiment
 from .port_distribution import PortDistributionConfig, run_port_distribution_experiment
 from .rtbh_attack import RtbhAttackConfig, run_rtbh_attack_experiment
+from .rule_churn import RuleChurnConfig, run_rule_churn_experiment
 from .scaling import ScalingConfig, run_scaling_experiment
 from .stellar_attack import StellarAttackConfig, run_stellar_attack_experiment
 from .table1 import Table1Config, run_table1_experiment
@@ -336,6 +337,33 @@ register(
             "background_flows_per_interval": 400,
             "mitigation_time": 200.0,
             "attack_duration": 200.0,
+        },
+    )
+)
+register(
+    ExperimentSpec(
+        name="rule_churn",
+        figure="scenario",
+        title="Concurrent member rule churn through the control-plane service",
+        config_cls=RuleChurnConfig,
+        runner=run_rule_churn_experiment,
+        aliases=("rule-churn", "churn", "control-plane-service"),
+        quick_overrides={
+            "duration": 80.0,
+            "interval": 10.0,
+            "member_count": 200,
+            "pop_count": 4,
+            "routers_per_pop": 1,
+            "churn_events_per_second": 1.5,
+            "burst_min": 2,
+            "burst_max": 12,
+            "attack_peer_count": 20,
+            "attack_start": 10.0,
+            "attack_duration": 60.0,
+            "attack_peak_bps": 40e9,
+            "background_rate_bps": 2e11,
+            "background_flows_per_interval": 1000,
+            "mitigation_time": 30.0,
         },
     )
 )

@@ -25,7 +25,18 @@ from .qos import (
     PortQosResult,
     QosRule,
 )
+from .portal_client import PortalClient, ScriptedPortal
 from .queues import RateLimiter, TokenBucket
+from .service import (
+    CHANGE_OPS,
+    SERVICE_OPS,
+    AppliedChange,
+    ChangeRequest,
+    ControlPlaneService,
+    ServiceResponse,
+    ServiceStats,
+    replay_request_log,
+)
 from .ruleindex import MatchSignature, RuleMatchIndex
 from .shard import ShardPlanner, ShardSpec, merge_interval_reports, shard_for_member
 from .tcam import TcamExhaustedError, TcamModel, TcamStatus
@@ -65,6 +76,16 @@ __all__ = [
     "QosRule",
     "RateLimiter",
     "TokenBucket",
+    "PortalClient",
+    "ScriptedPortal",
+    "CHANGE_OPS",
+    "SERVICE_OPS",
+    "AppliedChange",
+    "ChangeRequest",
+    "ControlPlaneService",
+    "ServiceResponse",
+    "ServiceStats",
+    "replay_request_log",
     "MatchSignature",
     "RuleMatchIndex",
     "ShardPlanner",

@@ -60,10 +60,18 @@ class ControlPlaneCpuModel:
         return self.base_percent + self.percent_per_update * updates_per_second
 
     def measure_usage(self, updates_per_second: float) -> float:
-        """One noisy CPU-usage measurement, clipped to [0, 100]."""
-        noisy = self.expected_usage(updates_per_second) + self._rng.normal(
-            0.0, self.noise_std
-        )
+        """One noisy CPU-usage measurement, clipped to [0, 100].
+
+        With ``noise_std == 0`` the measurement is exactly
+        :meth:`expected_usage` and consumes no RNG state — the
+        deterministic mode budget-enforcement code paths (the
+        control-plane service) rely on: repeated measurements of the
+        same rate are identical and never perturb other seeded draws.
+        """
+        expected = self.expected_usage(updates_per_second)
+        if self.noise_std == 0.0:
+            return float(np.clip(expected, 0.0, 100.0))
+        noisy = expected + self._rng.normal(0.0, self.noise_std)
         return float(np.clip(noisy, 0.0, 100.0))
 
     def measure_series(
@@ -91,3 +99,15 @@ class ControlPlaneCpuModel:
     def within_budget(self, updates_per_second: float) -> bool:
         """True if the (noise-free) usage stays within the CPU budget."""
         return self.expected_usage(updates_per_second) <= self.cpu_limit_percent
+
+    @classmethod
+    def deterministic(cls, **overrides) -> "ControlPlaneCpuModel":
+        """A noise-free model (``noise_std=0``).
+
+        ``measure_usage`` equals ``expected_usage`` exactly, so
+        ``max_update_rate`` is a hard, reproducible admission threshold
+        rather than a statistical one.  This is the model the
+        control-plane service's per-member change budgets run on.
+        """
+        overrides.setdefault("noise_std", 0.0)
+        return cls(**overrides)

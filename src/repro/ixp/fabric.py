@@ -196,6 +196,21 @@ class SwitchingFabric:
         """Sum of member port capacities (the "connected capacity")."""
         return sum(member.port_capacity_bps for member in self._members.values())
 
+    def rules_version_total(self) -> int:
+        """Sum of every connected port's ``rules_version``.
+
+        Each bump is one rule-set mutation — and thus one compiled
+        match-index (and delivery-plan slice) recompile the next interval
+        pays for.  The control-plane service's coalescing exists to keep
+        this total low under churn; the ``rule_churn`` scenario and the
+        service bench report it as the recompile-amortization metric.
+        """
+        return sum(
+            port.qos.rules_version
+            for router in self._edge_routers.values()
+            for port in router.ports()
+        )
+
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""Member-side clients of the control-plane service.
+
+Two clients with the same operation vocabulary:
+
+* :class:`PortalClient` — the asynchronous client a member coroutine
+  uses against a running :class:`~repro.ixp.service.ControlPlaneService`
+  (submissions queue, coalesce and pay budget like every other
+  member's);
+* :class:`ScriptedPortal` — the synchronous direct-call twin that
+  applies the same operations straight onto the fabric's routers, one
+  rule at a time, with no queueing and no budget.  It is the oracle the
+  fuzzing state machine locksteps the async service against: after the
+  service fully drains, both fabrics must be in bit-for-bit identical
+  states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .fabric import SwitchingFabric
+from .qos import QosRule
+from .service import ChangeRequest, ControlPlaneService, ServiceResponse
+
+
+class PortalClient:
+    """One member's asynchronous handle on the control-plane service."""
+
+    def __init__(self, service: ControlPlaneService, member_asn: int) -> None:
+        self.service = service
+        self.member_asn = member_asn
+
+    async def install(self, rule: QosRule, *, at: float = 0.0) -> ServiceResponse:
+        return await self._submit("install", rules=(rule,), at=at)
+
+    async def install_many(
+        self, rules: Sequence[QosRule], *, at: float = 0.0
+    ) -> ServiceResponse:
+        return await self._submit("install_many", rules=tuple(rules), at=at)
+
+    async def remove(self, rule_id: str, *, at: float = 0.0) -> ServiceResponse:
+        return await self._submit("remove", rule_id=rule_id, at=at)
+
+    async def clear(self, *, at: float = 0.0) -> ServiceResponse:
+        return await self._submit("clear", at=at)
+
+    async def telemetry(self, *, at: float = 0.0) -> ServiceResponse:
+        return await self._submit("telemetry", at=at)
+
+    async def _submit(
+        self,
+        op: str,
+        *,
+        rules: Sequence[QosRule] = (),
+        rule_id: str = "",
+        at: float = 0.0,
+    ) -> ServiceResponse:
+        request = self.service.make_request(
+            self.member_asn, op, rules=rules, rule_id=rule_id, at=at
+        )
+        return await self.service.submit(request)
+
+    def make_request(
+        self,
+        op: str,
+        *,
+        rules: Sequence[QosRule] = (),
+        rule_id: str = "",
+        at: float = 0.0,
+    ) -> ChangeRequest:
+        """Build (but don't submit) a request — for scripted batching."""
+        return self.service.make_request(
+            self.member_asn, op, rules=rules, rule_id=rule_id, at=at
+        )
+
+
+class ScriptedPortal:
+    """Synchronous direct-call portal — the sequential parity oracle.
+
+    Operations hit the routers immediately, rule by rule, exactly like
+    the pre-service scenarios installed rules.  TCAM exhaustion
+    propagates as :class:`~repro.ixp.tcam.TcamExhaustedError`, matching
+    the router contract.
+    """
+
+    def __init__(self, fabric: SwitchingFabric) -> None:
+        self.fabric = fabric
+
+    def install(self, member_asn: int, rule: QosRule) -> None:
+        self.fabric.router_for_member(member_asn).install_rule(member_asn, rule)
+
+    def install_many(self, member_asn: int, rules: Sequence[QosRule]) -> None:
+        router = self.fabric.router_for_member(member_asn)
+        for rule in rules:
+            router.install_rule(member_asn, rule)
+
+    def remove(self, member_asn: int, rule_id: str) -> bool:
+        return self.fabric.router_for_member(member_asn).remove_rule(
+            member_asn, rule_id
+        )
+
+    def clear(self, member_asn: int) -> int:
+        return self.fabric.router_for_member(member_asn).clear_rules(member_asn)
+
+    def telemetry(self, member_asn: int) -> Dict:
+        router = self.fabric.router_for_member(member_asn)
+        port = router.port_for(member_asn)
+        mac_used, l3l4_used = router.tcam.usage_for_port(port.port_id)
+        return {
+            "router": router.name,
+            "rules_version": port.qos.rules_version,
+            "installed_rules": len(port.qos),
+            "tcam_mac_entries": mac_used,
+            "tcam_l3l4_criteria": l3l4_used,
+        }

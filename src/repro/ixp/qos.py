@@ -491,6 +491,16 @@ class PortQosPolicy:
     def rules(self) -> List[QosRule]:
         return list(self._rules)
 
+    def rule_ids(self) -> List[str]:
+        """Installed rule ids in install order.
+
+        Anonymous SHAPE rules appear under the synthetic ``anon-<n>`` id
+        they were given at install time; anonymous DROP/FORWARD rules
+        appear as ``""``.  The control-plane service's telemetry (and the
+        lockstep fuzz machine) compare policies through this view.
+        """
+        return [rule.rule_id for rule in self._rules]
+
     def sorted_rules(self) -> List[QosRule]:
         """The rules in classification (most-specific-first) order.
 

@@ -14,13 +14,13 @@ class TestList:
         for name in ("table1", "fig2c", "fig3a", "fig3b", "fig3c", "fig9",
                      "fig10a", "fig10b", "fig10c", "functionality",
                      "pulse", "carpet", "multivector", "fine_grained",
-                     "paper_scale", "city_scale"):
+                     "paper_scale", "city_scale", "rule_churn"):
             assert name in out
 
     def test_json_listing(self, capsys):
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 16
+        assert len(payload) == 17
         fig3c = next(entry for entry in payload if entry["name"] == "fig3c")
         assert "peer_count" in fig3c["config_fields"]
         assert "rtbh" in fig3c["aliases"]

@@ -27,6 +27,8 @@ GOLDEN = {
     ("fine_grained", 11): "01c22e0b38b233eeb6ca3b57a44831670f7d8c504b993767436e9f6becd13c46",
     ("paper_scale", 3): "526d349fd2a2331543209e2004ed41dbc4925eb7529110330c03bffd910a0c1f",
     ("paper_scale", 11): "bf2dfff4ae647effd50554efa221a4c50833245d8a6230a6a70f3724e4a9c6c0",
+    ("rule_churn", 3): "c77116be69c903587f44cbbd352a64f3cb90431001b8a2d582717ae69ce76353",
+    ("rule_churn", 11): "f8a5558be271028af2f34bc71e69e27656ac36ef6ba21b3b228086c17a099a3b",
 }
 
 
@@ -44,7 +46,7 @@ def test_quick_scenario_digest_is_pinned(name, seed):
     )
 
 
-@pytest.mark.parametrize("name", ["fine_grained", "paper_scale"])
+@pytest.mark.parametrize("name", ["fine_grained", "paper_scale", "rule_churn"])
 def test_distinct_seeds_produce_distinct_output(name):
     """Guards against the digest accidentally ignoring the seed."""
     assert GOLDEN[(name, 3)] != GOLDEN[(name, 11)]

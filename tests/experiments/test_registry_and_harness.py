@@ -36,6 +36,7 @@ class TestRegistry:
             "fine_grained",
             "city_scale",
             "paper_scale",
+            "rule_churn",
         ]
 
     def test_lookup_by_alias_and_case(self):

@@ -270,6 +270,57 @@ def flow_tables(
 
 
 # ----------------------------------------------------------------------
+# Control-plane churn-request strategies
+# ----------------------------------------------------------------------
+#: Every operation the control-plane service accepts.
+CHURN_OPS: Tuple[str, ...] = (
+    "install",
+    "install_many",
+    "remove",
+    "clear",
+    "telemetry",
+)
+
+#: Inter-arrival gaps (seconds) between churn requests.  Mostly dense —
+#: several requests inside one budget window so coalescing and budget
+#: accounting actually trigger — with occasional jumps past a window
+#: boundary.
+arrival_gaps = st.sampled_from([0.0, 0.05, 0.2, 1.0, 2.5, 12.0])
+
+
+@st.composite
+def churn_requests(draw, member_indices: int = 8) -> Dict:
+    """One control-plane request descriptor.
+
+    ``{"member_index", "op", "rules", "rule_id", "arrival_gap"}`` —
+    the member index is modded into whatever member pool the consumer
+    drives, the arrival gap is relative to the previous request (so a
+    stream's absolute arrival times are its running sum).  Removes draw
+    from the same small ``RULE_IDS`` pool the generated rules use, so a
+    stream contains both real removals and no-op removals of ids that
+    were never (or no longer) installed.
+    """
+    op = draw(st.sampled_from(CHURN_OPS))
+    descriptor: Dict = {
+        "member_index": draw(st.integers(0, member_indices - 1)),
+        "op": op,
+        "arrival_gap": draw(arrival_gaps),
+    }
+    if op == "install":
+        descriptor["rules"] = (draw(qos_rules()),)
+    elif op == "install_many":
+        descriptor["rules"] = tuple(draw(rule_sets(min_size=1, max_size=5)))
+    elif op == "remove":
+        descriptor["rule_id"] = draw(st.sampled_from(RULE_IDS + ("no-such-rule",)))
+    return descriptor
+
+
+def churn_request_streams(min_size: int = 0, max_size: int = 10):
+    """A burst of service requests submitted before one drain."""
+    return st.lists(churn_requests(), min_size=min_size, max_size=max_size)
+
+
+# ----------------------------------------------------------------------
 # Topology strategies
 # ----------------------------------------------------------------------
 #: Base ASN of generated member populations (egress side of the fabric).

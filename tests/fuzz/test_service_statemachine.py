@@ -1,0 +1,218 @@
+"""Stateful lockstep fuzz of the control-plane service vs the portal.
+
+One Hypothesis state machine drives the *async* :class:`ControlPlaneService`
+(coalescing on, tight queue depth, small per-member budget) on fabric A
+while mirroring every change it actually applied onto fabric B through the
+synchronous :class:`ScriptedPortal`, one rule at a time.  After every burst
+the machine fully drains the service, replays the new request-log entries
+on B in canonical order, and asserts:
+
+* both fabrics hold **identical rule state** per member (same rules, same
+  order, same ids) — batching is an amortization, never a semantic change;
+* delivering the same flow table to both fabrics yields **identical
+  reports** (A runs the batched/indexed engines, B the per-member/per-rule
+  fallbacks, so this doubles as cross-engine parity);
+* ``rules_version`` is **monotonic** on both sides;
+* the per-member, per-window **budget is never exceeded** by accepted
+  operations, and every rejection carries an actionable ``retry_after``.
+
+The tight knobs (``max_queue_depth=16``, one op/second member budget) make
+generated bursts actually hit the backpressure and budget paths instead of
+only the happy path.
+"""
+
+import asyncio
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.ixp import ControlPlaneService, ScriptedPortal, TcamExhaustedError
+
+from .strategies import (
+    UNKNOWN_EGRESS_ASN,
+    build_flow_table,
+    churn_request_streams,
+    member_asns_of,
+)
+from .strategies import build_fabric
+
+SPEC = {"pop_count": 2, "routers_per_pop": 1, "member_count": 3, "seed": 11}
+MEMBERS = member_asns_of(SPEC)
+INTERVAL = 10.0
+
+#: Per-member budget: 1 op/s over a 10 s window = 10 ops per window.
+MEMBER_RATE = 1.0
+BUDGET_WINDOW = 10.0
+MAX_QUEUE_DEPTH = 16
+_EPS = 1e-9
+
+
+class ServiceStateMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.loop = asyncio.new_event_loop()
+        self.fabric_a = build_fabric(SPEC, delivery_engine="batched")
+        self.fabric_b = build_fabric(
+            SPEC, delivery_engine="per-member", classification_engine="per-rule"
+        )
+        self.service = ControlPlaneService(
+            self.fabric_a,
+            coalesce=True,
+            max_queue_depth=MAX_QUEUE_DEPTH,
+            budget_window=BUDGET_WINDOW,
+            member_update_rate=MEMBER_RATE,
+        )
+        self.portal = ScriptedPortal(self.fabric_b)
+        #: Absolute arrival clock (sum of generated gaps).
+        self.clock = 0.0
+        #: Request-log entries already mirrored onto B.
+        self.replayed = 0
+        #: Last observed rules_version per member and fabric.
+        self.versions = {asn: [0, 0] for asn in MEMBERS}
+        #: Accepted ops per ``(member, window)`` — rebuilt from responses.
+        self.ledger = {}
+        self.step = 0
+
+    def teardown(self):
+        try:
+            self.loop.run_until_complete(self.service.aclose())
+        finally:
+            self.loop.close()
+
+    # ------------------------------------------------------------------
+    # Driving the service
+    # ------------------------------------------------------------------
+    def _submit_burst(self, descriptors):
+        """Submit a burst concurrently, drain fully, return responses."""
+
+        async def go():
+            requests, tasks = [], []
+            for descriptor in descriptors:
+                self.clock += descriptor["arrival_gap"]
+                request = self.service.make_request(
+                    MEMBERS[descriptor["member_index"] % len(MEMBERS)],
+                    descriptor["op"],
+                    rules=descriptor.get("rules", ()),
+                    rule_id=descriptor.get("rule_id", ""),
+                    at=self.clock,
+                )
+                requests.append(request)
+                tasks.append(asyncio.create_task(self.service.submit(request)))
+            # Let every submit coroutine run to its first await so the
+            # enqueue order matches the stream order.
+            await asyncio.sleep(0)
+            await self.service.advance(None)
+            return list(zip(requests, [await task for task in tasks]))
+
+        return self.loop.run_until_complete(go())
+
+    def _check_responses(self, outcomes):
+        for request, response in outcomes:
+            assert response.request_id == request.request_id
+            assert response.member_asn == request.member_asn
+            if response.status == "telemetry":
+                assert response.telemetry is not None
+                assert response.telemetry["installed_rules"] >= 0
+            elif response.status == "rejected":
+                assert response.reason in ("budget", "backpressure")
+                assert response.retry_after is not None
+                assert response.retry_after > 0.0
+            else:
+                assert response.status in ("applied", "error")
+                assert response.applied_at is not None
+                assert response.applied_at >= request.arrival_time - _EPS
+                window = int(request.arrival_time // BUDGET_WINDOW)
+                key = (request.member_asn, window)
+                self.ledger[key] = self.ledger.get(key, 0) + request.cost
+
+    def _mirror_new_log_entries(self):
+        """Replay everything the service newly applied through the portal."""
+        new = self.service.request_log[self.replayed :]
+        self.replayed = len(self.service.request_log)
+        for entry in sorted(new, key=lambda e: (e.applied_at, e.member_asn)):
+            if entry.op == "install_many":
+                try:
+                    self.portal.install_many(entry.member_asn, entry.rules)
+                except TcamExhaustedError:
+                    assert entry.tcam_exhausted, entry
+            elif entry.op == "remove":
+                self.portal.remove(entry.member_asn, entry.rule_id)
+            elif entry.op == "clear":
+                self.portal.clear(entry.member_asn)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(stream=churn_request_streams(min_size=1, max_size=10))
+    def burst(self, stream):
+        outcomes = self._submit_burst(stream)
+        self._check_responses(outcomes)
+        self._mirror_new_log_entries()
+
+    @rule(member=st.integers(0, len(MEMBERS) - 1), pick=st.integers(0, 63))
+    def remove_installed(self, member, pick):
+        """Remove a rule B actually holds — the meaningful removal path."""
+        asn = MEMBERS[member]
+        installed = self.fabric_b.port_for_member(asn).qos.rule_ids()
+        installed = [rule_id for rule_id in installed if rule_id]
+        if not installed:
+            return
+        descriptor = {
+            "member_index": member,
+            "op": "remove",
+            "rule_id": installed[pick % len(installed)],
+            "arrival_gap": 0.1,
+        }
+        outcomes = self._submit_burst([descriptor])
+        self._check_responses(outcomes)
+        self._mirror_new_log_entries()
+
+    @rule(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 25))
+    def deliver(self, seed, n):
+        """Same interval through both data planes — reports must match."""
+        table = build_flow_table(
+            seed, n, egress_pool=tuple(MEMBERS) + (UNKNOWN_EGRESS_ASN,)
+        )
+        start = self.step * INTERVAL
+        self.step += 1
+        report_a = self.fabric_a.deliver(table, INTERVAL, start)
+        report_b = self.fabric_b.deliver(table, INTERVAL, start)
+        assert report_a.to_dict() == report_b.to_dict()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def rule_state_identical(self):
+        for asn in MEMBERS:
+            policy_a = self.fabric_a.port_for_member(asn).qos
+            policy_b = self.fabric_b.port_for_member(asn).qos
+            assert policy_a.rule_ids() == policy_b.rule_ids(), asn
+            assert [repr(r) for r in policy_a.rules()] == [
+                repr(r) for r in policy_b.rules()
+            ], asn
+
+    @invariant()
+    def versions_monotonic(self):
+        for asn in MEMBERS:
+            policy_a = self.fabric_a.port_for_member(asn).qos
+            policy_b = self.fabric_b.port_for_member(asn).qos
+            last_a, last_b = self.versions[asn]
+            assert policy_a.rules_version >= last_a, asn
+            assert policy_b.rules_version >= last_b, asn
+            # Coalescing can only *reduce* version churn, never add to it.
+            assert policy_a.rules_version <= policy_b.rules_version, asn
+            self.versions[asn] = [policy_a.rules_version, policy_b.rules_version]
+
+    @invariant()
+    def budget_never_exceeded(self):
+        allowance = MEMBER_RATE * BUDGET_WINDOW
+        for key, spent in self.ledger.items():
+            assert spent <= allowance + _EPS, key
+
+    @invariant()
+    def queues_fully_drained(self):
+        assert self.service.queue_depth() == 0
+
+
+TestServiceStateMachine = ServiceStateMachine.TestCase
