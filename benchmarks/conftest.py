@@ -1,42 +1,12 @@
-"""Shared helpers for the benchmark harness.
+"""Shared configuration for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper: it runs the
 corresponding experiment driver under ``pytest-benchmark`` (so run time is
 tracked), asserts the paper's qualitative findings, and prints the rows /
 series the paper reports so ``pytest benchmarks/ --benchmark-only -s`` can
 be used to eyeball the reproduced numbers.
+
+The shared helpers live in ``bench_utils`` (not here): benchmark modules
+import them by that unique basename, which keeps them independent of the
+order in which pytest loads the tree's ``conftest`` modules.
 """
-
-from __future__ import annotations
-
-import json
-import os
-from pathlib import Path
-
-
-def write_bench_json(name: str, payload: dict) -> Path:
-    """Persist a benchmark's headline numbers as ``BENCH_<name>.json``.
-
-    The perf-trajectory benchmarks (rule index, fabric delivery) call this
-    even under ``--benchmark-disable`` — their wall-clock measurements and
-    speedup assertions run as plain test code — so every CI run leaves a
-    machine-readable record of the measured speedups.  The output
-    directory defaults to the working directory (the repo root in CI) and
-    can be redirected with ``BENCH_OUTPUT_DIR``.
-    """
-    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{name}.json"
-    # Stamp the host's core count into every record: scaling results
-    # (worker sweeps, pool speedups) are meaningless without it.
-    payload = {"cpu_count": os.cpu_count(), **payload}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
-
-
-def print_table(title: str, rows: list[tuple]) -> None:
-    """Print a small aligned table below the benchmark output."""
-    print(f"\n=== {title} ===")
-    widths = [max(len(str(row[i])) for row in rows) for i in range(len(rows[0]))]
-    for row in rows:
-        print("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

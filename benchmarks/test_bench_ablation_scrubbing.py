@@ -6,7 +6,7 @@ at the IXP for free, so only the unclassified residue is diverted to the
 scrubbing centre.
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.core import BlackholingRule
 from repro.experiments import build_attack_scenario

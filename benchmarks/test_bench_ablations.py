@@ -10,7 +10,7 @@
   sufficient (§2.4).
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.core import BlackholingRule, Stellar
 from repro.experiments import RtbhAttackConfig, build_attack_scenario, run_rtbh_attack_experiment
@@ -28,8 +28,14 @@ def _egress_vs_ingress(peer_count: int = 40, attack_rate_bps: float = 1e9):
     ingress_config_changes = peer_count
     ingress_platform_load = 0.0
     return {
-        "egress": {"config_changes": egress_config_changes, "platform_load_bps": egress_platform_load},
-        "ingress": {"config_changes": ingress_config_changes, "platform_load_bps": ingress_platform_load},
+        "egress": {
+            "config_changes": egress_config_changes,
+            "platform_load_bps": egress_platform_load,
+        },
+        "ingress": {
+            "config_changes": ingress_config_changes,
+            "platform_load_bps": ingress_platform_load,
+        },
     }
 
 
@@ -76,7 +82,12 @@ def test_bench_ablation_signalling_interface(benchmark):
     result = benchmark(run)
     rows = [
         ("interface", "signal → installed latency", "cooperation needed", "tooling"),
-        ("BGP extended communities", f"{result['bgp']:.1f} s", "none (victim + IXP only)", "existing BGP toolchain"),
+        (
+            "BGP extended communities",
+            f"{result['bgp']:.1f} s",
+            "none (victim + IXP only)",
+            "existing BGP toolchain",
+        ),
         ("customer API", f"{result['api']:.1f} s", "none (victim + IXP only)", "new API client"),
     ]
     print_table("Ablation: signalling interface", rows)

@@ -18,7 +18,7 @@ here only the clock differs.
 
 import time
 
-from conftest import print_table, write_bench_json
+from bench_utils import print_table, write_bench_json
 
 from repro.bgp import Prefix
 from repro.ixp import (

@@ -1,6 +1,6 @@
 """Fig. 10(a) — control-plane CPU usage vs. L3-criteria update rate."""
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import CpuUpdateRateConfig, run_cpu_update_rate_experiment
 

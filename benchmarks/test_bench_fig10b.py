@@ -1,6 +1,6 @@
 """Fig. 10(b) — queueing delay of configuration changes (token-bucket queue)."""
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import ChangeQueueingConfig, run_change_queueing_experiment
 

@@ -1,6 +1,6 @@
 """Fig. 10(c) — active DDoS attack mitigated with Stellar (shape, then drop)."""
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import StellarAttackConfig, run_stellar_attack_experiment
 

@@ -5,7 +5,7 @@ and the collateral-damage comparison between RTBH and a fine-grained
 source-port filter.
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import CollateralDamageConfig, run_collateral_damage_experiment
 

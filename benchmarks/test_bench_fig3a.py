@@ -5,7 +5,7 @@ Welch's t-tests) and the protocol split between blackholed and regular
 traffic.
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import PortDistributionConfig, run_port_distribution_experiment
 
@@ -36,7 +36,11 @@ def test_bench_fig3a_port_distribution(benchmark):
         "Fig. 3(a) companion: protocol split",
         [
             ("population", "UDP share", "TCP share"),
-            ("RTBH traffic", f"{result.blackholed_udp_share:.2%}", f"{result.blackholed_tcp_share:.2%}"),
+            (
+                "RTBH traffic",
+                f"{result.blackholed_udp_share:.2%}",
+                f"{result.blackholed_tcp_share:.2%}",
+            ),
             ("other traffic", f"{1 - result.other_tcp_share:.2%}", f"{result.other_tcp_share:.2%}"),
         ],
     )

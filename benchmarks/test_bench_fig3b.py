@@ -1,6 +1,6 @@
 """Fig. 3(b) — usage of policy control for RTBH announcements at L-IXP."""
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import (
     PAPER_FIG3B_SHARES,

@@ -4,7 +4,7 @@ Regenerates the delivered-traffic and peer-count time series of the
 controlled booter attack mitigated (unsuccessfully) with classic RTBH.
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import RtbhAttackConfig, run_rtbh_attack_experiment
 

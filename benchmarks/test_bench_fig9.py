@@ -1,6 +1,6 @@
 """Fig. 9 — Stellar TCAM scaling limits by IXP member adoption rate."""
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import PAPER_FIG9, run_scaling_experiment
 from repro.experiments.scaling import DEFAULT_L3L4_MULTIPLES, DEFAULT_MAC_MULTIPLES, ScalingConfig

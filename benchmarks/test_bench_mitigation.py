@@ -16,7 +16,7 @@ here only the clock differs.
 
 import time
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.bgp.flowspec import drop_rule, rate_limit_rule
 from repro.core.rules import BlackholingRule

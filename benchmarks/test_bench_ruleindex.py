@@ -21,7 +21,7 @@ Functional parity (verdicts, rule_stats, precedence) is pinned in
 import time
 
 import numpy as np
-from conftest import print_table, write_bench_json
+from bench_utils import print_table, write_bench_json
 
 from repro.core.rules import BlackholingRule
 from repro.ixp import PortQosPolicy

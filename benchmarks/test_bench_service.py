@@ -14,7 +14,7 @@ per mode) as ``BENCH_service.json``.
 
 import time
 
-from conftest import print_table, write_bench_json
+from bench_utils import print_table, write_bench_json
 
 from repro.experiments.rule_churn import RuleChurnConfig, run_rule_churn_experiment
 

@@ -16,7 +16,7 @@ beat itself, but the parity assertions still hold everywhere.
 import os
 import time
 
-from conftest import print_table, write_bench_json
+from bench_utils import print_table, write_bench_json
 
 from repro.experiments.city_scale import CityScaleConfig, run_city_scale_experiment
 

@@ -10,7 +10,7 @@ machine actually has multiple cores.
 import os
 import time
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import Sweep, run_sweep
 

@@ -5,7 +5,7 @@ quantitative sanity check (residual attack / collateral damage per
 technique on a common scenario).
 """
 
-from conftest import print_table
+from bench_utils import print_table
 
 from repro.experiments import build_table1, run_quantitative_comparison
 from repro.mitigation import Dimension

@@ -48,7 +48,10 @@ def main() -> None:
         f"({result.cached_points} served from the artifact store)\n"
     )
 
-    header = f"{'peers':>6} {'attack':>10} {'peak Mbps':>10} {'residual Mbps':>14} {'reduction':>10}"
+    header = (
+        f"{'peers':>6} {'attack':>10} {'peak Mbps':>10} "
+        f"{'residual Mbps':>14} {'reduction':>10}"
+    )
     print(header)
     print("-" * len(header))
     for point, summary in zip(result.points, result.summaries()):

@@ -29,7 +29,8 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any, Optional
 
 from .experiments.registry import ExperimentSpec, all_experiments, get_experiment
 from .experiments.results import ResultStore, to_jsonable
@@ -44,13 +45,13 @@ def _option_name(field_name: str) -> str:
     return "--" + field_name.replace("_", "-")
 
 
-def _settable_fields(spec: ExperimentSpec) -> Dict[str, Any]:
+def _settable_fields(spec: ExperimentSpec) -> dict[str, Any]:
     """``field name -> default`` for every CLI-settable config field.
 
     A field is settable when its default is a scalar or a flat sequence of
     scalars (the latter is parsed from a comma-separated list).
     """
-    settable: Dict[str, Any] = {}
+    settable: dict[str, Any] = {}
     config = spec.config_cls()
     for field in spec.config_fields():
         default = getattr(config, field.name)
@@ -93,10 +94,10 @@ def _convert(field_name: str, default: Any, text: str) -> Any:
         raise SystemExit(f"error: invalid value for {_option_name(field_name)}: {error}")
 
 
-def _parse_overrides(spec: ExperimentSpec, tokens: Sequence[str]) -> Dict[str, Any]:
+def _parse_overrides(spec: ExperimentSpec, tokens: Sequence[str]) -> dict[str, Any]:
     """Parse ``--field-name value`` / ``--field-name=value`` token pairs."""
     settable = _settable_fields(spec)
-    overrides: Dict[str, Any] = {}
+    overrides: dict[str, Any] = {}
     queue = list(tokens)
     while queue:
         token = queue.pop(0)
@@ -132,7 +133,7 @@ def _write_json(payload: Any, destination: Optional[str]) -> None:
         print(f"wrote {destination}")
 
 
-def _print_summary(summary: Dict[str, Any]) -> None:
+def _print_summary(summary: dict[str, Any]) -> None:
     if not summary:
         print("(no summary)")
         return
@@ -172,7 +173,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace, extra: List[str]) -> int:
+def _cmd_run(args: argparse.Namespace, extra: list[str]) -> int:
     spec = get_experiment(args.experiment)
     overrides = _parse_overrides(spec, extra)
     config = spec.make_config(quick=args.quick, **overrides)
@@ -187,9 +188,9 @@ def _cmd_run(args: argparse.Namespace, extra: List[str]) -> int:
     return 0
 
 
-def _parse_grid(spec: ExperimentSpec, grid_args: List[str]) -> Dict[str, Tuple[Any, ...]]:
+def _parse_grid(spec: ExperimentSpec, grid_args: list[str]) -> dict[str, tuple[Any, ...]]:
     settable = _settable_fields(spec)
-    grid: Dict[str, Tuple[Any, ...]] = {}
+    grid: dict[str, tuple[Any, ...]] = {}
     for item in grid_args:
         if "=" not in item:
             raise SystemExit(
@@ -215,7 +216,7 @@ def _parse_grid(spec: ExperimentSpec, grid_args: List[str]) -> Dict[str, Tuple[A
     return grid
 
 
-def _cmd_sweep(args: argparse.Namespace, extra: List[str]) -> int:
+def _cmd_sweep(args: argparse.Namespace, extra: list[str]) -> int:
     spec = get_experiment(args.experiment)
     grid = _parse_grid(spec, args.grid or [])
     base = _parse_overrides(spec, extra)

@@ -17,8 +17,9 @@ the equivalent per-flow loops.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class PortShareSnapshot:
     """Traffic share by service port during one interval."""
 
     interval_start: float
-    shares: Dict[int, float]
+    shares: dict[int, float]
     total_bytes: int
 
     def share_of(self, port: int) -> float:
@@ -47,7 +48,7 @@ def port_share_timeseries(
     top_ports: Sequence[int],
     start: Optional[float] = None,
     end: Optional[float] = None,
-) -> List[PortShareSnapshot]:
+) -> list[PortShareSnapshot]:
     """Per-interval traffic shares for the given ports (others aggregated as -1).
 
     This is the data behind Fig. 2(c): the share of the victim's traffic per
@@ -63,11 +64,11 @@ def port_share_timeseries(
         return _port_share_timeseries_columnar(
             table, interval, top_ports, trace_start, trace_end
         )
-    snapshots: List[PortShareSnapshot] = []
+    snapshots: list[PortShareSnapshot] = []
     t = trace_start
     while t < trace_end:
         window = trace.between(t, t + interval)
-        totals: Dict[int, int] = {}
+        totals: dict[int, int] = {}
         for flow in window:
             port = service_port(flow)
             key = port if port in top_ports else -1
@@ -77,7 +78,7 @@ def port_share_timeseries(
     return snapshots
 
 
-def _snapshot(interval_start: float, totals: Dict[int, int]) -> PortShareSnapshot:
+def _snapshot(interval_start: float, totals: dict[int, int]) -> PortShareSnapshot:
     grand_total = sum(totals.values())
     shares = (
         {port: volume / grand_total for port, volume in totals.items()}
@@ -95,7 +96,7 @@ def _port_share_timeseries_columnar(
     top_ports: Sequence[int],
     trace_start: float,
     trace_end: float,
-) -> List[PortShareSnapshot]:
+) -> list[PortShareSnapshot]:
     ports = table.service_ports()
     keys = np.where(np.isin(ports, list(top_ports)), ports, -1)
     flow_bytes = table.bytes
@@ -151,7 +152,7 @@ def fine_grained_filter_potential(
     flows: Union[Sequence[FlowRecord], FlowTable, TrafficTrace],
     protocol: IpProtocol,
     src_port: int,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """How much traffic a single (protocol, source port) filter would remove.
 
     Returns the removed attack share, the removed legitimate share and the

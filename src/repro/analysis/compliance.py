@@ -16,8 +16,8 @@ Two questions from the measurement study:
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
 
 from ..bgp.route_server import PolicyControl
 from ..mitigation.rtbh import BlackholeEvent, RtbhService
@@ -27,7 +27,7 @@ from ..mitigation.rtbh import BlackholeEvent, RtbhService
 class PolicyControlDistribution:
     """Share of RTBH announcements per policy-control category (Fig. 3(b))."""
 
-    counts: Dict[str, int]
+    counts: dict[str, int]
 
     @property
     def total(self) -> int:
@@ -38,10 +38,10 @@ class PolicyControlDistribution:
             return 0.0
         return self.counts.get(category, 0) / self.total
 
-    def shares(self) -> Dict[str, float]:
+    def shares(self) -> dict[str, float]:
         return {category: self.share_of(category) for category in self.counts}
 
-    def categories_sorted(self) -> List[str]:
+    def categories_sorted(self) -> list[str]:
         """Categories ordered as in the figure: restrictive first, 'All' last,
         explicit-list categories after it."""
         def sort_key(category: str):

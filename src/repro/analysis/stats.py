@@ -14,8 +14,8 @@ so the experiment drivers stay readable.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -99,7 +99,7 @@ def mean_confidence_interval(
     )
 
 
-def empirical_cdf(sample: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+def empirical_cdf(sample: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(sorted_values, P(X <= x))`` for an empirical CDF plot."""
     values = np.sort(np.asarray(list(sample), dtype=float))
     if values.size == 0:

@@ -11,20 +11,21 @@ peer reduction).
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 
 @dataclass
 class AttackTimeSeries:
     """Per-interval observations of an attack experiment."""
 
-    times: List[float] = field(default_factory=list)
-    delivered_mbps: List[float] = field(default_factory=list)
-    attack_delivered_mbps: List[float] = field(default_factory=list)
-    peer_counts: List[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    delivered_mbps: list[float] = field(default_factory=list)
+    attack_delivered_mbps: list[float] = field(default_factory=list)
+    peer_counts: list[int] = field(default_factory=list)
     #: Optional additional labelled series (e.g. "shaped", "dropped").
-    extra: Dict[str, List[float]] = field(default_factory=dict)
+    extra: dict[str, list[float]] = field(default_factory=dict)
 
     def record(
         self,
@@ -125,7 +126,7 @@ def record_delivery(
     if interval <= 0:
         raise ValueError(f"interval must be positive, got {interval}")
     scale = 1.0 / interval / 1e6
-    extra_mbps: Dict[str, float] = {}
+    extra_mbps: dict[str, float] = {}
     for key, bits in extra_bits.items():
         if not key.endswith("_bits"):
             raise ValueError(

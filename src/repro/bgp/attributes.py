@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import FrozenSet, Tuple
 
 from .communities import ExtendedCommunity, LargeCommunity, StandardCommunity
 
@@ -28,13 +27,13 @@ class PathAttributes:
     """Immutable bundle of the path attributes attached to an announcement."""
 
     origin: Origin = Origin.IGP
-    as_path: Tuple[int, ...] = ()
+    as_path: tuple[int, ...] = ()
     next_hop: str = ""
     med: int = 0
     local_pref: int = 100
-    communities: FrozenSet[StandardCommunity] = field(default_factory=frozenset)
-    extended_communities: FrozenSet[ExtendedCommunity] = field(default_factory=frozenset)
-    large_communities: FrozenSet[LargeCommunity] = field(default_factory=frozenset)
+    communities: frozenset[StandardCommunity] = field(default_factory=frozenset)
+    extended_communities: frozenset[ExtendedCommunity] = field(default_factory=frozenset)
+    large_communities: frozenset[LargeCommunity] = field(default_factory=frozenset)
 
     # ------------------------------------------------------------------
     # AS-path helpers

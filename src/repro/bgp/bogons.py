@@ -9,7 +9,7 @@ covers the standard IPv4 and IPv6 special-purpose registries.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 from .prefix import Prefix, parse_prefix
 
@@ -51,13 +51,13 @@ class BogonFilter:
             if bogons is None
             else list(bogons)
         )
-        self._bogons: List[Prefix] = [parse_prefix(prefix) for prefix in source]
+        self._bogons: list[Prefix] = [parse_prefix(prefix) for prefix in source]
 
     def add(self, prefix: "str | Prefix") -> None:
         """Add an extra bogon prefix (e.g. unallocated space)."""
         self._bogons.append(parse_prefix(prefix))
 
-    def bogons(self) -> List[Prefix]:
+    def bogons(self) -> list[Prefix]:
         return list(self._bogons)
 
     def is_bogon(self, prefix: "str | Prefix") -> bool:

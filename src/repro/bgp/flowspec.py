@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Optional
 
 from .prefix import Prefix, parse_prefix
 
@@ -72,7 +72,7 @@ class FlowspecRule:
     source_port: Optional[int] = None
     dest_port: Optional[int] = None
     packet_length_max: Optional[int] = None
-    actions: Tuple[FlowspecAction, ...] = field(default_factory=tuple)
+    actions: tuple[FlowspecAction, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for name in ("source_port", "dest_port"):

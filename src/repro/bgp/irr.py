@@ -12,8 +12,8 @@ when the covering /24 (or shorter) prefix is registered to the same origin.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Dict, Iterable, Set
 
 from .prefix import Prefix, parse_prefix
 
@@ -34,13 +34,15 @@ class IrrDatabase:
     """In-memory IRR used by the route-server import policy."""
 
     def __init__(self) -> None:
-        self._by_origin: Dict[int, Set[Prefix]] = defaultdict(set)
+        self._by_origin: dict[int, set[Prefix]] = defaultdict(set)
         self._objects: list[RouteObject] = []
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, prefix: "str | Prefix", origin_asn: int, source: str = "RADB") -> RouteObject:
+    def register(
+        self, prefix: "str | Prefix", origin_asn: int, source: str = "RADB"
+    ) -> RouteObject:
         """Register a route object and return it."""
         if origin_asn <= 0:
             raise ValueError(f"origin ASN must be positive, got {origin_asn}")
@@ -58,7 +60,7 @@ class IrrDatabase:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def prefixes_for(self, origin_asn: int) -> Set[Prefix]:
+    def prefixes_for(self, origin_asn: int) -> set[Prefix]:
         """All prefixes registered for an origin ASN."""
         return set(self._by_origin.get(origin_asn, set()))
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Optional
 
 from .attributes import PathAttributes
 from .prefix import Prefix
@@ -69,8 +69,8 @@ class UpdateMessage:
     """A BGP UPDATE carrying announcements and withdrawals."""
 
     sender_asn: int
-    announcements: Tuple[RouteAnnouncement, ...] = ()
-    withdrawals: Tuple[RouteWithdrawal, ...] = ()
+    announcements: tuple[RouteAnnouncement, ...] = ()
+    withdrawals: tuple[RouteWithdrawal, ...] = ()
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     @property

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
 
 from .bogons import BogonFilter
 from .irr import IrrDatabase
@@ -90,7 +89,9 @@ class ImportPolicy:
     reject_rpki_invalid: bool = True
 
     # ------------------------------------------------------------------
-    def evaluate(self, route: RouteAnnouncement, allow_blackhole_specifics: bool = True) -> PolicyResult:
+    def evaluate(
+        self, route: RouteAnnouncement, allow_blackhole_specifics: bool = True
+    ) -> PolicyResult:
         """Evaluate a single announcement.
 
         ``allow_blackhole_specifics`` controls whether host routes tagged

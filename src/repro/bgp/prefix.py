@@ -12,14 +12,14 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass
 from functools import cached_property, lru_cache, total_ordering
-from typing import Tuple, Union
+from typing import Union
 
 _IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 _IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
 
 @lru_cache(maxsize=1 << 16)
-def _address_key(text: str) -> Tuple[int, int]:
+def _address_key(text: str) -> tuple[int, int]:
     """Memoised ``(version, integer value)`` of an IP address string.
 
     Flow records carry addresses as strings and the data plane matches the
@@ -81,7 +81,7 @@ class Prefix:
         return str(self.network.network_address)
 
     @cached_property
-    def int_bounds(self) -> Tuple[int, int]:
+    def int_bounds(self) -> tuple[int, int]:
         """``(first, last)`` address of the prefix as integers.
 
         Cached because the data plane uses the bounds for both the scalar

@@ -16,14 +16,15 @@ for the route server's client RIBs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Optional
 
 from .messages import RouteAnnouncement, RouteWithdrawal
 from .prefix import Prefix
 
 #: RIB entries are keyed by (prefix, neighbor ASN, ADD-PATH path id).
-RibKey = Tuple[Prefix, int, int]
+RibKey = tuple[Prefix, int, int]
 
 
 def _key_for(route: RouteAnnouncement) -> RibKey:
@@ -37,9 +38,9 @@ def _key_for(route: RouteAnnouncement) -> RibKey:
 class RibDiff:
     """Routes added, removed or replaced between two RIB snapshots."""
 
-    added: Tuple[RouteAnnouncement, ...] = ()
-    removed: Tuple[RouteAnnouncement, ...] = ()
-    changed: Tuple[Tuple[RouteAnnouncement, RouteAnnouncement], ...] = ()
+    added: tuple[RouteAnnouncement, ...] = ()
+    removed: tuple[RouteAnnouncement, ...] = ()
+    changed: tuple[tuple[RouteAnnouncement, RouteAnnouncement], ...] = ()
 
     @property
     def is_empty(self) -> bool:
@@ -53,7 +54,7 @@ class RoutingInformationBase:
     """A multi-path RIB with snapshot/diff support."""
 
     def __init__(self) -> None:
-        self._routes: Dict[RibKey, RouteAnnouncement] = {}
+        self._routes: dict[RibKey, RouteAnnouncement] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -133,14 +134,14 @@ class RoutingInformationBase:
     # ------------------------------------------------------------------
     # Snapshot / diff
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[RibKey, RouteAnnouncement]:
+    def snapshot(self) -> dict[RibKey, RouteAnnouncement]:
         """Return a shallow copy of the RIB contents (routes are immutable)."""
         return dict(self._routes)
 
     @staticmethod
     def diff(
-        before: Dict[RibKey, RouteAnnouncement],
-        after: Dict[RibKey, RouteAnnouncement],
+        before: dict[RibKey, RouteAnnouncement],
+        after: dict[RibKey, RouteAnnouncement],
     ) -> RibDiff:
         """Compute the difference between two snapshots."""
         added = []

@@ -19,8 +19,9 @@ route-server users (paper §2.1).  For the reproduction the route server
 from __future__ import annotations
 
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Optional
 
 from .messages import (
     RouteAnnouncement,
@@ -47,7 +48,7 @@ class PolicyControl:
     except_asns: frozenset[int] = frozenset()
     only_asns: frozenset[int] = frozenset()
 
-    def targets(self, members: Set[int], sender: int) -> Set[int]:
+    def targets(self, members: set[int], sender: int) -> set[int]:
         """Resolve the member ASNs this announcement is exported to."""
         candidates = set(members) - {sender}
         if self.announce_to_all:
@@ -86,11 +87,11 @@ class RouteServer:
         #: Next hop installed on blackholed routes (the IXP's null interface).
         self.blackhole_next_hop = blackhole_next_hop
         self.rib = RoutingInformationBase()
-        self._member_sessions: Dict[int, BgpSession] = {}
+        self._member_sessions: dict[int, BgpSession] = {}
         #: Southbound consumers (e.g. the Stellar blackholing controller).
-        self._consumers: List[Callable[[UpdateMessage], None]] = []
-        self._rejections: List[RejectedAnnouncement] = []
-        self._policy_controls: List[tuple[RouteAnnouncement, PolicyControl]] = []
+        self._consumers: list[Callable[[UpdateMessage], None]] = []
+        self._rejections: list[RejectedAnnouncement] = []
+        self._policy_controls: list[tuple[RouteAnnouncement, PolicyControl]] = []
         self._path_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -122,7 +123,7 @@ class RouteServer:
         return self.rib.remove_neighbor(member_asn)
 
     @property
-    def member_asns(self) -> Set[int]:
+    def member_asns(self) -> set[int]:
         return set(self._member_sessions)
 
     def session_for(self, member_asn: int) -> Optional[BgpSession]:
@@ -142,7 +143,7 @@ class RouteServer:
         self,
         update: UpdateMessage,
         policy_control: Optional[PolicyControl] = None,
-    ) -> List[PolicyResult]:
+    ) -> list[PolicyResult]:
         """Process an UPDATE from a member.
 
         Returns the per-announcement policy results (in announcement
@@ -155,9 +156,9 @@ class RouteServer:
             self.connect_member(sender)
         control = policy_control if policy_control is not None else PolicyControl()
 
-        results: List[PolicyResult] = []
-        accepted: List[RouteAnnouncement] = []
-        withdrawn: List[RouteWithdrawal] = []
+        results: list[PolicyResult] = []
+        accepted: list[RouteAnnouncement] = []
+        withdrawn: list[RouteWithdrawal] = []
         for ann in update.announcements:
             result = self.policy.evaluate(ann)
             results.append(result)
@@ -218,8 +219,8 @@ class RouteServer:
     def _propagate(
         self,
         sender: int,
-        announcements: List[RouteAnnouncement],
-        withdrawals: List[RouteWithdrawal],
+        announcements: list[RouteAnnouncement],
+        withdrawals: list[RouteWithdrawal],
         control: PolicyControl,
     ) -> None:
         # RTBH semantics: when a member accepts a blackhole announcement,
@@ -228,7 +229,7 @@ class RouteServer:
         # Blackholing signals (extended communities without the RTBH
         # standard community) are *not* reflected to the members at all;
         # they are only forwarded southbound to the controller.
-        member_facing: List[RouteAnnouncement] = []
+        member_facing: list[RouteAnnouncement] = []
         for ann in announcements:
             if ann.attributes.extended_communities and not ann.is_blackhole_request:
                 continue  # Stellar signal: IXP-internal only.
@@ -267,9 +268,9 @@ class RouteServer:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def rejections(self) -> List[RejectedAnnouncement]:
+    def rejections(self) -> list[RejectedAnnouncement]:
         return list(self._rejections)
 
-    def policy_control_log(self) -> List[tuple[RouteAnnouncement, PolicyControl]]:
+    def policy_control_log(self) -> list[tuple[RouteAnnouncement, PolicyControl]]:
         """Accepted announcements with their export policy control."""
         return list(self._policy_controls)

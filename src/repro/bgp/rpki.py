@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List
 
 from .prefix import Prefix, parse_prefix
 
@@ -61,7 +60,7 @@ class RpkiValidator:
     """Validated-ROA-payload cache with RFC 6811 validation."""
 
     def __init__(self) -> None:
-        self._roas: List[Roa] = []
+        self._roas: list[Roa] = []
 
     def add_roa(
         self, prefix: "str | Prefix", asn: int, max_length: int | None = None
@@ -76,7 +75,7 @@ class RpkiValidator:
         self._roas.append(roa)
         return roa
 
-    def roas(self) -> List[Roa]:
+    def roas(self) -> list[Roa]:
         return list(self._roas)
 
     def validate(self, prefix: "str | Prefix", origin_asn: int) -> RpkiValidity:

@@ -12,9 +12,10 @@ the experiments observe: ``IDLE``, ``ESTABLISHED`` and ``CLOSED``.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, List, Optional
+from typing import Optional
 
 from .messages import (
     KeepaliveMessage,
@@ -59,7 +60,7 @@ class BgpSession:
     on_update: Optional[Callable[[UpdateMessage], None]] = None
     state: SessionState = SessionState.IDLE
     #: Messages delivered over this session (most recent last).
-    history: List[object] = field(default_factory=list)
+    history: list[object] = field(default_factory=list)
     keepalives_received: int = 0
     updates_received: int = 0
 

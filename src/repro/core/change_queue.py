@@ -19,7 +19,7 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, List, Optional
+from typing import Optional
 
 from ..ixp.queues import TokenBucket
 from .rules import BlackholingRule
@@ -76,8 +76,8 @@ class ChangeQueue:
         self.max_burst_size = max_burst_size
         self.max_queue_length = max_queue_length
         self._bucket = TokenBucket(rate=rate_per_second, burst=float(max_burst_size))
-        self._queue: Deque[ConfigChange] = deque()
-        self._dequeued: List[DequeuedChange] = []
+        self._queue: deque[ConfigChange] = deque()
+        self._dequeued: list[DequeuedChange] = []
         self.dropped_changes = 0
 
     # ------------------------------------------------------------------
@@ -115,9 +115,9 @@ class ChangeQueue:
         self._dequeued.append(dequeued)
         return dequeued
 
-    def drain(self, now: float, max_changes: Optional[int] = None) -> List[DequeuedChange]:
+    def drain(self, now: float, max_changes: Optional[int] = None) -> list[DequeuedChange]:
         """Dequeue as many changes as the bucket allows at ``now``."""
-        drained: List[DequeuedChange] = []
+        drained: list[DequeuedChange] = []
         while self._queue:
             if max_changes is not None and len(drained) >= max_changes:
                 break
@@ -136,17 +136,17 @@ class ChangeQueue:
     # ------------------------------------------------------------------
     # Telemetry (Fig. 10(b))
     # ------------------------------------------------------------------
-    def dequeued(self) -> List[DequeuedChange]:
+    def dequeued(self) -> list[DequeuedChange]:
         return list(self._dequeued)
 
-    def waiting_times(self) -> List[float]:
+    def waiting_times(self) -> list[float]:
         """Waiting times of every change dequeued so far."""
         return [item.waiting_time for item in self._dequeued]
 
 
 def replay_change_arrivals(
-    arrival_times: List[float], dequeue_rate: float, max_burst_size: int = 10
-) -> List[float]:
+    arrival_times: list[float], dequeue_rate: float, max_burst_size: int = 10
+) -> list[float]:
     """Replay a change-arrival trace through a queue drained at ``dequeue_rate``.
 
     This is the Fig. 10(b) experiment in function form: arrivals are placed
@@ -157,7 +157,7 @@ def replay_change_arrivals(
     if dequeue_rate <= 0:
         raise ValueError("dequeue_rate must be positive")
     arrivals = sorted(arrival_times)
-    waiting: List[float] = []
+    waiting: list[float] = []
     # The consumer applies one change every 1/rate seconds; a change arriving
     # at an idle consumer (and within the burst allowance) is applied
     # immediately, otherwise it waits for the consumer to become free.

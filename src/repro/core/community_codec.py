@@ -40,8 +40,9 @@ paper's "single BGP announcement" requirement.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set
+from typing import Optional
 
 from ..bgp.communities import ExtendedCommunity
 from ..bgp.prefix import Prefix
@@ -116,13 +117,13 @@ class StellarCommunityCodec:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def encode(self, rule: BlackholingRule) -> Set[ExtendedCommunity]:
+    def encode(self, rule: BlackholingRule) -> set[ExtendedCommunity]:
         """Encode a rule into its extended-community representation.
 
         The destination prefix is carried by the BGP NLRI, not by the
         communities, so it does not appear here.
         """
-        communities: Set[ExtendedCommunity] = set()
+        communities: set[ExtendedCommunity] = set()
 
         if rule.src_port is not None or rule.dst_port is not None:
             if rule.protocol not in (IpProtocol.UDP, IpProtocol.TCP):
@@ -158,7 +159,7 @@ class StellarCommunityCodec:
             communities.add(self._community(SUBTYPE_ACTION, ACTION_DROP))
         return communities
 
-    def encode_predefined(self, predefined_rule_id: int) -> Set[ExtendedCommunity]:
+    def encode_predefined(self, predefined_rule_id: int) -> set[ExtendedCommunity]:
         """Encode a reference to a portal-defined rule."""
         if predefined_rule_id < 0 or predefined_rule_id > 0xFFFFFFFF:
             raise ValueError("predefined rule id must fit in 32 bits")

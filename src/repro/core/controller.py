@@ -19,8 +19,9 @@ The controller is *passive*: it never announces routes itself.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..bgp.messages import RouteAnnouncement, UpdateMessage
 from ..bgp.prefix import Prefix
@@ -34,7 +35,7 @@ from .rules import BlackholingRule, RuleAction
 #: Identity of a blackholing rule, independent of its action: the owner, the
 #: victim prefix and the match fields.  Two signals with the same key but a
 #: different action are an *update* of the same rule.
-RuleKey = Tuple[int, str, Optional[int], Optional[int], Optional[int], Optional[str], Optional[str]]
+RuleKey = tuple[int, str, Optional[int], Optional[int], Optional[int], Optional[str], Optional[str]]
 
 
 def _rule_key(rule: BlackholingRule) -> RuleKey:
@@ -94,14 +95,14 @@ class BlackholingController:
         self.session.open()
         self.stats = ControllerStats()
         #: Currently active rules, by identity key.
-        self._active_rules: Dict[RuleKey, BlackholingRule] = {}
+        self._active_rules: dict[RuleKey, BlackholingRule] = {}
         #: Stable rule ids per identity key (so updates replace in place).
-        self._rule_ids: Dict[RuleKey, str] = {}
+        self._rule_ids: dict[RuleKey, str] = {}
 
     # ------------------------------------------------------------------
     # BGP parser / processor
     # ------------------------------------------------------------------
-    def process_update(self, update: UpdateMessage) -> List[ConfigChange]:
+    def process_update(self, update: UpdateMessage) -> list[ConfigChange]:
         """Consume one UPDATE from the route server and emit config changes."""
         self.stats.updates_processed += 1
         for announcement in update.announcements:
@@ -164,9 +165,9 @@ class BlackholingController:
             )
         return None
 
-    def desired_rules(self) -> Dict[RuleKey, BlackholingRule]:
+    def desired_rules(self) -> dict[RuleKey, BlackholingRule]:
         """The rule set implied by the current RIB contents."""
-        desired: Dict[RuleKey, BlackholingRule] = {}
+        desired: dict[RuleKey, BlackholingRule] = {}
         for route in self.rib.routes():
             rule = self._rule_from_announcement(route)
             if rule is None:
@@ -193,10 +194,10 @@ class BlackholingController:
     # ------------------------------------------------------------------
     # Reconciliation (RIB diff → config changes)
     # ------------------------------------------------------------------
-    def _reconcile(self) -> List[ConfigChange]:
+    def _reconcile(self) -> list[ConfigChange]:
         now = self._clock()
         desired = self.desired_rules()
-        changes: List[ConfigChange] = []
+        changes: list[ConfigChange] = []
 
         for key, rule in desired.items():
             if key not in self._active_rules:
@@ -247,7 +248,7 @@ class BlackholingController:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def active_rules(self) -> List[BlackholingRule]:
+    def active_rules(self) -> list[BlackholingRule]:
         """Rules currently requested by the members (post-reconciliation)."""
         return list(self._active_rules.values())
 

@@ -13,7 +13,7 @@ at all times" constraint (§4.1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..ixp.edge_router import EdgeRouter
 from ..ixp.tcam import TcamStatus
@@ -61,9 +61,9 @@ class HardwareInformationBase:
         if max_rules_per_port <= 0:
             raise ValueError("max_rules_per_port must be positive")
         self.max_rules_per_port = max_rules_per_port
-        self._routers: Dict[str, EdgeRouter] = {}
-        self._capabilities: Dict[str, DeviceCapabilities] = {}
-        self._rules_per_port: Dict[tuple[str, int], int] = {}
+        self._routers: dict[str, EdgeRouter] = {}
+        self._capabilities: dict[str, DeviceCapabilities] = {}
+        self._rules_per_port: dict[tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -76,7 +76,7 @@ class HardwareInformationBase:
         self._capabilities[router.name] = capabilities
         return capabilities
 
-    def routers(self) -> List[EdgeRouter]:
+    def routers(self) -> list[EdgeRouter]:
         return list(self._routers.values())
 
     def capabilities(self, device_name: str) -> DeviceCapabilities:

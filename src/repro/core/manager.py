@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..ixp.fabric import SwitchingFabric
 from ..ixp.tcam import TcamExhaustedError
@@ -58,10 +58,12 @@ class NetworkManager:
         self.hardware_info = (
             hardware_info if hardware_info is not None else HardwareInformationBase()
         )
-        self.deployment_log: List[DeploymentRecord] = []
+        self.deployment_log: list[DeploymentRecord] = []
 
     # ------------------------------------------------------------------
-    def process_pending(self, now: float, max_changes: Optional[int] = None) -> List[DeploymentRecord]:
+    def process_pending(
+        self, now: float, max_changes: Optional[int] = None
+    ) -> list[DeploymentRecord]:
         """Dequeue and deploy as many changes as the token bucket allows."""
         records = []
         for dequeued in self.change_queue.drain(now, max_changes=max_changes):
@@ -73,7 +75,7 @@ class NetworkManager:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    def records_with_status(self, status: DeploymentStatus) -> List[DeploymentRecord]:
+    def records_with_status(self, status: DeploymentStatus) -> list[DeploymentRecord]:
         return [record for record in self.deployment_log if record.status is status]
 
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..bgp.prefix import Prefix
 from ..traffic.packet import IpProtocol, WellKnownPort
@@ -44,7 +44,7 @@ class RuleTemplate:
         )
 
 
-def ixp_shared_templates() -> Dict[int, RuleTemplate]:
+def ixp_shared_templates() -> dict[int, RuleTemplate]:
     """The IXP's shared catalogue of predefined rules for common attacks."""
     vectors = {
         1: ("drop-ntp", int(WellKnownPort.NTP), "NTP reflection (UDP/123)"),
@@ -84,15 +84,15 @@ class CustomerPortal:
     CUSTOM_RULE_ID_BASE = 1000
 
     def __init__(self) -> None:
-        self._shared: Dict[int, RuleTemplate] = ixp_shared_templates()
-        self._custom: Dict[int, RuleTemplate] = {}
-        self._custom_owner: Dict[int, int] = {}
+        self._shared: dict[int, RuleTemplate] = ixp_shared_templates()
+        self._custom: dict[int, RuleTemplate] = {}
+        self._custom_owner: dict[int, int] = {}
         self._ids = itertools.count(self.CUSTOM_RULE_ID_BASE)
 
     # ------------------------------------------------------------------
     # Catalogue management
     # ------------------------------------------------------------------
-    def shared_templates(self) -> Dict[int, RuleTemplate]:
+    def shared_templates(self) -> dict[int, RuleTemplate]:
         return dict(self._shared)
 
     def define_custom_rule(self, member_asn: int, template: RuleTemplate) -> int:
@@ -104,7 +104,7 @@ class CustomerPortal:
         self._custom_owner[rule_id] = member_asn
         return rule_id
 
-    def custom_rules_of(self, member_asn: int) -> Dict[int, RuleTemplate]:
+    def custom_rules_of(self, member_asn: int) -> dict[int, RuleTemplate]:
         return {
             rule_id: template
             for rule_id, template in self._custom.items()

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List
 
 from ..ixp.qos import FilterAction, QosRule
 from .change_queue import ChangeType, ConfigChange
@@ -50,7 +49,7 @@ class QosConfigurationCompiler:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    def compile(self, change: ConfigChange) -> List[CompiledQosChange]:
+    def compile(self, change: ConfigChange) -> list[CompiledQosChange]:
         """Compile one abstract change into hardware-level operations.
 
         ADD and UPDATE both become a single "install" (the data plane
@@ -94,7 +93,7 @@ class QosConfigurationCompiler:
         return self._render_nokia(compiled)
 
     @staticmethod
-    def _match_terms(qos_rule: QosRule) -> dict:
+    def _match_terms(qos_rule: QosRule) -> dict[str, object]:
         match = qos_rule.match
         return {
             "dst": str(match.dst_prefix) if match.dst_prefix else "any",

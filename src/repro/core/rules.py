@@ -12,9 +12,10 @@ hardware-specific QoS or SDN configurations by the network manager.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..bgp.prefix import Prefix, parse_prefix
 from ..ixp.qos import FilterAction, FlowMatch, QosRule
@@ -180,7 +181,7 @@ class BlackholingRule:
         shape_every: int = 0,
         shape_rate_bps: float = 1e6,
         protocol: IpProtocol = IpProtocol.UDP,
-    ) -> "List[BlackholingRule]":
+    ) -> "list[BlackholingRule]":
         """A fine-grained rule set in the dominant Stellar shape.
 
         ``count`` rules cycling over the cross product of the victim's
@@ -203,7 +204,7 @@ class BlackholingRule:
                 f"count {count} exceeds the {len(hosts)} x {len(source_ports)} "
                 "distinct (host, port) pairs"
             )
-        rules: List[BlackholingRule] = []
+        rules: list[BlackholingRule] = []
         for index in range(count):
             host = hosts[index // len(source_ports)]
             port = source_ports[index % len(source_ports)]

@@ -11,8 +11,9 @@ signalling/deployment ablation benches.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..ixp.qos import FilterAction
 from ..traffic.flow import FlowRecord
@@ -26,8 +27,8 @@ class FlowMod:
 
     command: str  # "add" | "delete"
     priority: int
-    match: Dict[str, object]
-    instructions: Dict[str, object]
+    match: dict[str, object]
+    instructions: dict[str, object]
     cookie: str = ""
 
     def matches(self, flow: FlowRecord) -> bool:
@@ -72,10 +73,10 @@ class SdnConfigurationCompiler:
     #: Priority assigned to blackholing rules (above the default forwarding).
     BLACKHOLE_PRIORITY = 1000
 
-    def compile(self, change: ConfigChange) -> List[FlowMod]:
+    def compile(self, change: ConfigChange) -> list[FlowMod]:
         """Compile one abstract change into flow-mod messages."""
         rule = change.rule
-        match: Dict[str, object] = {"eth_type": 0x0800, "ipv4_dst": str(rule.dst_prefix)}
+        match: dict[str, object] = {"eth_type": 0x0800, "ipv4_dst": str(rule.dst_prefix)}
         if rule.src_prefix is not None:
             match["ipv4_src"] = str(rule.src_prefix)
         if rule.src_mac is not None:
@@ -91,7 +92,7 @@ class SdnConfigurationCompiler:
 
         qos_rule = rule.to_qos_rule()
         if qos_rule.action is FilterAction.DROP:
-            instructions: Dict[str, object] = {"action": "drop"}
+            instructions: dict[str, object] = {"action": "drop"}
         else:
             instructions = {
                 "action": "meter",
@@ -124,7 +125,7 @@ class OpenFlowSwitchSim:
         if flow_table_capacity <= 0:
             raise ValueError("flow_table_capacity must be positive")
         self.flow_table_capacity = flow_table_capacity
-        self._table: Dict[str, FlowMod] = {}
+        self._table: dict[str, FlowMod] = {}
 
     def apply_flow_mod(self, flow_mod: FlowMod) -> None:
         """Install or delete a flow-table entry."""
@@ -141,7 +142,7 @@ class OpenFlowSwitchSim:
     def table_size(self) -> int:
         return len(self._table)
 
-    def entries(self) -> List[FlowMod]:
+    def entries(self) -> list[FlowMod]:
         return list(self._table.values())
 
     def classify(self, flow: FlowRecord) -> Optional[FlowMod]:
@@ -153,11 +154,11 @@ class OpenFlowSwitchSim:
 
     def forward(
         self, flows: Sequence[FlowRecord], interval: float
-    ) -> Dict[str, List[FlowRecord]]:
+    ) -> dict[str, list[FlowRecord]]:
         """Split flows into forwarded / dropped / metered per the flow table."""
-        result: Dict[str, List[FlowRecord]] = {"forward": [], "drop": [], "meter": []}
-        metered: Dict[str, List[FlowRecord]] = {}
-        meter_rates: Dict[str, float] = {}
+        result: dict[str, list[FlowRecord]] = {"forward": [], "drop": [], "meter": []}
+        metered: dict[str, list[FlowRecord]] = {}
+        meter_rates: dict[str, float] = {}
         for flow in flows:
             entry = self.classify(flow)
             if entry is None:

@@ -21,7 +21,7 @@ request blackholing for prefixes it is authorised to originate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Optional
 
 from ..bgp.attributes import PathAttributes
 from ..bgp.communities import ExtendedCommunity
@@ -125,7 +125,7 @@ class SignalingLayer:
         self,
         member_asn: int,
         prefix: Prefix,
-        communities: Set[ExtendedCommunity],
+        communities: set[ExtendedCommunity],
         next_hop: str,
         policy_control: Optional[PolicyControl],
         rule: Optional[BlackholingRule],

@@ -19,8 +19,9 @@ control plane, push data-plane traffic through the IXP, and query telemetry.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional
 
 from ..bgp.policy import ImportPolicy, permissive_policy
 from ..bgp.prefix import Prefix, parse_prefix
@@ -45,7 +46,7 @@ class StellarIntervalReport:
     """Combined control-plane + data-plane outcome of one simulation interval."""
 
     fabric_report: FabricIntervalReport
-    deployments: List[DeploymentRecord] = field(default_factory=list)
+    deployments: list[DeploymentRecord] = field(default_factory=list)
 
     @property
     def delivered_bits(self) -> float:
@@ -170,7 +171,7 @@ class Stellar:
     # ------------------------------------------------------------------
     # Control plane / data plane stepping
     # ------------------------------------------------------------------
-    def process_control_plane(self, now: Optional[float] = None) -> List[DeploymentRecord]:
+    def process_control_plane(self, now: Optional[float] = None) -> list[DeploymentRecord]:
         """Deploy pending configuration changes allowed by the token bucket."""
         if now is not None:
             self.advance_to(now)
@@ -228,7 +229,7 @@ class Stellar:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def active_rules(self) -> List[BlackholingRule]:
+    def active_rules(self) -> list[BlackholingRule]:
         return self.controller.active_rules()
 
     def installed_rule_count(self) -> int:

@@ -11,7 +11,7 @@ counters from the data-plane results and renders member-facing reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..ixp.qos import FilterAction, PortQosResult
 
@@ -30,7 +30,7 @@ class RuleTelemetry:
     #: (time, matched_bits) samples for the member's attack-status view —
     #: raw matched volume per recorded interval, so rates can be derived
     #: for whatever observation interval the caller reports over.
-    samples: List[tuple[float, float]] = field(default_factory=list)
+    samples: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def filtered_bits(self) -> float:
@@ -62,7 +62,7 @@ class MemberTelemetryReport:
 
     member_asn: int
     time: float
-    rules: List[RuleTelemetry]
+    rules: list[RuleTelemetry]
 
     @property
     def total_filtered_bits(self) -> float:
@@ -81,7 +81,7 @@ class TelemetryCollector:
     """Aggregates data-plane results into per-rule telemetry."""
 
     def __init__(self) -> None:
-        self._by_rule: Dict[str, RuleTelemetry] = {}
+        self._by_rule: dict[str, RuleTelemetry] = {}
 
     # ------------------------------------------------------------------
     def record_interval(
@@ -94,9 +94,9 @@ class TelemetryCollector:
         """Fold one interval's :class:`PortQosResult` into the counters."""
         if interval <= 0:
             raise ValueError("interval must be positive")
-        matched_bits_by_rule: Dict[str, float] = {}
-        dropped_bits_by_rule: Dict[str, float] = {}
-        shaped_bits_by_rule: Dict[str, float] = {}
+        matched_bits_by_rule: dict[str, float] = {}
+        dropped_bits_by_rule: dict[str, float] = {}
+        shaped_bits_by_rule: dict[str, float] = {}
 
         for flow in result.dropped:
             rule_id = self._rule_id_for(result, flow, FilterAction.DROP)
@@ -123,7 +123,7 @@ class TelemetryCollector:
             telemetry.samples.append((time, matched))
 
     @staticmethod
-    def _rule_id_for(result: PortQosResult, flow, action: FilterAction) -> str:
+    def _rule_id_for(result: PortQosResult, flow: object, action: FilterAction) -> str:
         # The PortQosResult does not retain the per-flow rule attribution, so
         # telemetry groups drops and shapes under synthetic per-action ids
         # unless the caller records per-rule results explicitly.
@@ -165,5 +165,5 @@ class TelemetryCollector:
         ]
         return MemberTelemetryReport(member_asn=member_asn, time=time, rules=rules)
 
-    def all_rules(self) -> List[RuleTelemetry]:
+    def all_rules(self) -> list[RuleTelemetry]:
         return list(self._by_rule.values())

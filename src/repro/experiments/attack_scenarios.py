@@ -29,7 +29,6 @@ through ``apply_table`` (baselines) or the Stellar fabric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -77,10 +76,10 @@ class PulseAttackResult(JsonResultMixin):
     config: PulseAttackConfig
     series: AttackTimeSeries
     #: Interval starts observed while a burst was firing (pre-mitigation).
-    burst_times: List[float]
+    burst_times: list[float]
     #: Interval starts observed inside silent gaps (pre-mitigation).
-    gap_times: List[float]
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    gap_times: list[float]
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def burst_mbps(self) -> float:
@@ -102,7 +101,7 @@ class PulseAttackResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         burst = self.burst_mbps
         gap = self.gap_mbps
         return {
@@ -138,8 +137,8 @@ def run_pulse_attack_experiment(
     attack = scenario.attack
     series = AttackTimeSeries()
     harness = SteppedExperiment(duration=config.duration, interval=config.interval)
-    burst_times: List[float] = []
-    gap_times: List[float] = []
+    burst_times: list[float] = []
+    gap_times: list[float] = []
 
     harness.at(
         config.blackhole_time,
@@ -198,7 +197,7 @@ class CarpetBombingResult(JsonResultMixin):
     distinct_target_count: int
     #: Share of attack bits towards the single blackholed host (/32).
     host_coverage_fraction: float
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -214,7 +213,7 @@ class CarpetBombingResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         peak = self.peak_attack_mbps
         residual = self.residual_mbps
         return {
@@ -311,8 +310,8 @@ class MultiVectorResult(JsonResultMixin):
     config: MultiVectorConfig
     series: AttackTimeSeries
     #: The abused source port of each vector, in signalling order.
-    vector_ports: List[int]
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    vector_ports: list[int]
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -346,7 +345,7 @@ class MultiVectorResult(JsonResultMixin):
             start, self.config.attack_start + self.config.attack_duration
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         summary = {
             "peak_attack_mbps": self.peak_attack_mbps,
             "vector_count": float(len(self.vector_ports)),
@@ -475,7 +474,7 @@ class PaperScaleResult(JsonResultMixin):
     member_count: int
     router_count: int
     pop_count: int
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -491,7 +490,7 @@ class PaperScaleResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "peak_attack_mbps": self.peak_attack_mbps,
             "residual_mbps": self.residual_mbps,

@@ -18,8 +18,8 @@ that produce the CDF's long tail.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -52,8 +52,8 @@ class ChangeQueueingResult(JsonResultMixin):
     """Waiting-time distributions per dequeue rate."""
 
     config: ChangeQueueingConfig
-    arrival_times: List[float]
-    waiting_times: Dict[float, List[float]]
+    arrival_times: list[float]
+    waiting_times: dict[float, list[float]]
 
     def cdf(self, rate: float):
         """``(values, probabilities)`` of the waiting-time CDF for a rate."""
@@ -65,8 +65,8 @@ class ChangeQueueingResult(JsonResultMixin):
     def percentile(self, rate: float, quantile: float) -> float:
         return cdf_quantile(self.waiting_times[rate], quantile)
 
-    def summary(self) -> Dict[str, float]:
-        summary: Dict[str, float] = {"total_changes": float(len(self.arrival_times))}
+    def summary(self) -> dict[str, float]:
+        summary: dict[str, float] = {"total_changes": float(len(self.arrival_times))}
         for rate in self.config.dequeue_rates:
             summary[f"rate_{rate:g}_fraction_below_1s"] = self.fraction_below(rate, 1.0)
             summary[f"rate_{rate:g}_p95_seconds"] = self.percentile(rate, 0.95)
@@ -74,7 +74,7 @@ class ChangeQueueingResult(JsonResultMixin):
         return summary
 
 
-def generate_change_arrivals(config: ChangeQueueingConfig) -> List[float]:
+def generate_change_arrivals(config: ChangeQueueingConfig) -> list[float]:
     """Generate the synthetic RTBH configuration-change arrival trace."""
     rng = make_rng(config.seed)
     expected_base = config.base_arrival_rate * config.duration_seconds
@@ -99,7 +99,7 @@ def run_change_queueing_experiment(
     arrivals = (
         list(arrival_times) if arrival_times is not None else generate_change_arrivals(config)
     )
-    waiting: Dict[float, List[float]] = {}
+    waiting: dict[float, list[float]] = {}
     for rate in config.dequeue_rates:
         waiting[rate] = replay_change_arrivals(
             arrivals, dequeue_rate=rate, max_burst_size=config.max_burst_size

@@ -35,8 +35,9 @@ import dataclasses
 import hashlib
 import json
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.rules import BlackholingRule
@@ -116,8 +117,8 @@ class CityScaleResult(JsonResultMixin):
     report_digest: str
     #: Top service ports by offered bytes across the whole run
     #: (platform-level flow analysis over the shared-memory tables).
-    top_service_ports: Dict[str, int] = field(default_factory=dict)
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    top_service_ports: dict[str, int] = field(default_factory=dict)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -133,7 +134,7 @@ class CityScaleResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "peak_attack_mbps": self.peak_attack_mbps,
             "residual_mbps": self.residual_mbps,
@@ -164,7 +165,7 @@ def _router_profile(config: CityScaleConfig) -> HardwareProfile:
     )
 
 
-def _city_members(config: CityScaleConfig) -> Tuple[IxpMember, List[IxpMember]]:
+def _city_members(config: CityScaleConfig) -> tuple[IxpMember, list[IxpMember]]:
     """The victim plus the seeded member population (pure in ``config``)."""
     victim = IxpMember(
         asn=DEFAULT_VICTIM_ASN,
@@ -184,7 +185,7 @@ def _city_members(config: CityScaleConfig) -> Tuple[IxpMember, List[IxpMember]]:
 
 def _mitigation_events(
     config: CityScaleConfig,
-) -> Tuple[Tuple[float, int, QosRule], ...]:
+) -> tuple[tuple[float, int, QosRule], ...]:
     """The pre-scheduled configuration changes, as picklable QoS rules.
 
     Built once in the parent with an explicit ``rule_id``: the default
@@ -215,7 +216,7 @@ class _ShardRuntime:
         self,
         config: CityScaleConfig,
         spec: ShardSpec,
-        events: Tuple[Tuple[float, int, QosRule], ...],
+        events: tuple[tuple[float, int, QosRule], ...],
     ) -> None:
         self.config = config
         self.spec = spec
@@ -285,7 +286,7 @@ class _ShardRuntime:
         self._next_event = 0
 
     # ------------------------------------------------------------------
-    def run_interval(self, interval_start: float, interval: float) -> Dict:
+    def run_interval(self, interval_start: float, interval: float) -> dict:
         """Generate, deliver and account one observation interval."""
         # Apply due configuration changes before delivering (the same
         # fire-then-step order as SteppedExperiment).
@@ -320,7 +321,7 @@ class _ShardRuntime:
             peak_utilisation = max(peak_utilisation, utilisation)
             if utilisation > 1.0:
                 oversubscribed += 1
-        payload: Dict = {
+        payload: dict = {
             "report": report.to_dict(),
             "peak_utilisation": peak_utilisation,
             "oversubscribed": oversubscribed,
@@ -342,7 +343,7 @@ class _ShardRuntime:
 def _build_shard_runtime(
     config: CityScaleConfig,
     spec: ShardSpec,
-    events: Tuple[Tuple[float, int, QosRule], ...],
+    events: tuple[tuple[float, int, QosRule], ...],
 ) -> _ShardRuntime:
     """Module-level runtime factory (pickled by reference under spawn)."""
     return _ShardRuntime(config, spec, events)
@@ -351,7 +352,7 @@ def _build_shard_runtime(
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
-def plan_city_shards(config: CityScaleConfig) -> List[ShardSpec]:
+def plan_city_shards(config: CityScaleConfig) -> list[ShardSpec]:
     """The scenario's shard plan (a pure function of the config)."""
     victim, members = _city_members(config)
     planner = ShardPlanner.for_members([victim, *members], config.pop_count)
@@ -387,7 +388,7 @@ def run_city_scale_experiment(
 
     series = AttackTimeSeries()
     digest = hashlib.sha256()
-    service_bytes: Dict[int, int] = {}
+    service_bytes: dict[int, int] = {}
     platform_peak_bps = 0.0
     peak_utilisation = 0.0
     oversubscribed = 0

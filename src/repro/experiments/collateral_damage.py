@@ -14,8 +14,9 @@ damage of RTBH vs. the fine-grained filter.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from ..analysis.collateral import (
     CollateralDamageReport,
@@ -68,11 +69,11 @@ class CollateralDamageResult(JsonResultMixin):
 
     config: CollateralDamageConfig
     trace: TrafficTrace
-    port_shares: List[PortShareSnapshot]
+    port_shares: list[PortShareSnapshot]
     rtbh_report: CollateralDamageReport
-    fine_grained_potential: Dict[str, float]
+    fine_grained_potential: dict[str, float]
     #: Phase transitions recorded by the harness: ``(time, kind, details)``.
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def share_before_attack(self, port: int) -> float:
@@ -98,7 +99,7 @@ class CollateralDamageResult(JsonResultMixin):
             return 0.0
         return sum(snapshot.share_of(port) for snapshot in during) / len(during)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         memcached = int(WellKnownPort.MEMCACHED)
         https = int(WellKnownPort.HTTPS)
         return {
@@ -148,7 +149,7 @@ def run_collateral_damage_experiment(
     # port shares above stay vectorized over the whole pre-generated trace.
     harness = SteppedExperiment(duration=config.duration, interval=config.interval)
     rtbh_service = RtbhService(ixp_asn=64700, compliance_rate=1.0, seed=config.seed)
-    state: Dict[str, object] = {}
+    state: dict[str, object] = {}
 
     def start_attack() -> None:
         pass  # log-only: the generator already embeds the attack in the trace

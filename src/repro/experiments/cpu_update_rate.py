@@ -10,8 +10,8 @@ regression and derives the sustainable update rate.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.stats import LinearRegressionResult, linear_regression
 from ..ixp.control_plane import (
@@ -37,7 +37,7 @@ class CpuUpdateRateResult(JsonResultMixin):
     """Measurements, regression fit and derived sustainable update rate."""
 
     config: CpuUpdateRateConfig
-    observations: List[Tuple[float, float]]
+    observations: list[tuple[float, float]]
     regression: LinearRegressionResult
 
     @property
@@ -50,16 +50,16 @@ class CpuUpdateRateResult(JsonResultMixin):
         """Fitted CPU usage at the paper's median rate of 4.33 updates/s."""
         return self.regression.predict(PAPER_MEDIAN_UPDATE_RATE)
 
-    def mean_usage_by_rate(self) -> Dict[float, float]:
+    def mean_usage_by_rate(self) -> dict[float, float]:
         """Mean measured CPU usage per swept rate (the figure's points)."""
-        sums: Dict[float, float] = {}
-        counts: Dict[float, int] = {}
+        sums: dict[float, float] = {}
+        counts: dict[float, int] = {}
         for rate, usage in self.observations:
             sums[rate] = sums.get(rate, 0.0) + usage
             counts[rate] = counts.get(rate, 0) + 1
         return {rate: sums[rate] / counts[rate] for rate in sums}
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "slope_percent_per_update": self.regression.slope,
             "intercept_percent": self.regression.intercept,

@@ -26,7 +26,6 @@ manual recompilation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -176,7 +175,7 @@ class FineGrainedResult(JsonResultMixin):
     installed_rule_count: int
     #: Aggregated compiled-index shape over the protected ports
     #: (exact vs fallback rules/groups) — engine-independent.
-    index_stats: Dict[str, int]
+    index_stats: dict[str, int]
     intervals: int
     offered_bits: float
     delivered_bits: float
@@ -187,9 +186,9 @@ class FineGrainedResult(JsonResultMixin):
     #: Bits the mid-run ("late") rule dropped before/after its install.
     late_bits_before: float
     late_bits_after: float
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         offered = self.offered_bits or 1.0
         return {
             "installed_rules": float(self.installed_rule_count),
@@ -282,7 +281,7 @@ def run_fine_grained_experiment(
 
     harness.run(step)
 
-    index_stats: Dict[str, int] = {}
+    index_stats: dict[str, int] = {}
     for member in scenario.protected:
         stats = fabric.port_for_member(member.asn).qos.compiled_index().describe()
         for key, value in stats.items():

@@ -14,16 +14,17 @@ The experiment reproduces this with the flow-level data plane.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..core.rules import BlackholingRule
 from ..core.stellar import Stellar
 from ..ixp.edge_router import EdgeRouter
 from ..ixp.fabric import SwitchingFabric
 from ..ixp.member import IxpMember
-from ..traffic.attacks import AmplificationAttack, BenignTrafficSource
 from ..traffic.amplification import get_vector
+from ..traffic.attacks import AmplificationAttack, BenignTrafficSource
 from ..traffic.packet import WellKnownPort
 from .harness import SteppedExperiment
 from .results import JsonResultMixin
@@ -51,17 +52,17 @@ class FunctionalityResult(JsonResultMixin):
     #: Delivered rate with no rules installed (congested port).
     baseline_delivered_bps: float
     #: Delivered rate per target IP after installing drop rules for NTP/DNS.
-    dropped_phase_delivered_bps: Dict[str, float]
+    dropped_phase_delivered_bps: dict[str, float]
     #: Attack traffic delivered per target IP after the drop rules.
-    dropped_phase_attack_bps: Dict[str, float]
+    dropped_phase_attack_bps: dict[str, float]
     #: Delivered rate per target IP with shaping rules instead of drops.
-    shaped_phase_delivered_bps: Dict[str, float]
+    shaped_phase_delivered_bps: dict[str, float]
     #: Attack traffic delivered per target IP in the shaping phase.
-    shaped_phase_attack_bps: Dict[str, float]
+    shaped_phase_attack_bps: dict[str, float]
     #: Phase transitions recorded by the harnesses: ``(time, kind, details)``.
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         summary = {"baseline_delivered_mbps": self.baseline_delivered_bps / 1e6}
         for ip, rate in self.dropped_phase_attack_bps.items():
             summary[f"drop_attack_mbps_{ip}"] = rate / 1e6
@@ -86,7 +87,7 @@ def _build_system(config: FunctionalityConfig):
 
 
 def _traffic_for(
-    config: FunctionalityConfig, targets: List[str], peers: List[IxpMember], t: float
+    config: FunctionalityConfig, targets: list[str], peers: list[IxpMember], t: float
 ):
     """10 Gbps of NTP + DNS attack traffic plus benign web traffic."""
     flows = []
@@ -118,12 +119,12 @@ def _traffic_for(
 
 
 def _per_target_rates(
-    result, targets: List[str], interval: float
-) -> Tuple[Dict[str, float], Dict[str, float]]:
+    result, targets: list[str], interval: float
+) -> tuple[dict[str, float], dict[str, float]]:
     """Delivered and attack-only rates (bps) per target IP for one phase."""
     delivered_flows = result.forwarded + result.shaped
-    delivered: Dict[str, float] = {}
-    attack: Dict[str, float] = {}
+    delivered: dict[str, float] = {}
+    attack: dict[str, float] = {}
     for ip in targets:
         delivered[ip] = (
             sum(flow.bits for flow in delivered_flows if flow.dst_ip == ip) / interval
@@ -137,7 +138,7 @@ def _per_target_rates(
 
 def _run_phase(
     config: FunctionalityConfig,
-    targets: List[str],
+    targets: list[str],
     phase: str,
     rule_for: Optional[Callable[[int, str, int], BlackholingRule]] = None,
 ):
@@ -151,7 +152,7 @@ def _run_phase(
     """
     stellar, victim, peers = _build_system(config)
     harness = SteppedExperiment(duration=3 * config.interval, interval=config.interval)
-    measured: Dict[str, object] = {}
+    measured: dict[str, object] = {}
 
     def install_rules() -> None:
         for ip in targets:
@@ -182,7 +183,7 @@ def run_functionality_experiment(
     """Run the three validation phases (baseline, drop, shape)."""
     config = config if config is not None else FunctionalityConfig()
     targets = [f"100.10.10.{10 + i}" for i in range(config.target_ip_count)]
-    events: List[Tuple[float, str, Dict]] = []
+    events: list[tuple[float, str, dict]] = []
 
     # Phase 1: no rules — the 1 Gbps port is congested by the 10 Gbps load.
     baseline_result, phase_events = _run_phase(config, targets, "baseline")

@@ -17,7 +17,8 @@ phase actually happened.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any, Optional
 
 from ..sim.clock import SimulationClock
 from ..sim.engine import SimulationEngine
@@ -73,11 +74,11 @@ class SteppedExperiment:
     def log(self) -> EventLog:
         return self.engine.log
 
-    def phase_times(self, kind: str) -> List[float]:
+    def phase_times(self, kind: str) -> list[float]:
         """Timestamps at which the named phase action actually fired."""
         return self.engine.log.times(kind)
 
-    def events(self) -> List[Tuple[float, str, dict]]:
+    def events(self) -> list[tuple[float, str, dict]]:
         """All logged phase transitions, in firing order."""
         return self.engine.log.entries()
 
@@ -109,7 +110,7 @@ class SteppedExperiment:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step_times(self) -> List[float]:
+    def step_times(self) -> list[float]:
         """The interval-start times the data-plane callback runs at.
 
         A partial trailing interval is not stepped (floor, not round), so

@@ -37,8 +37,9 @@ import itertools
 import multiprocessing
 import os
 from collections import deque
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Any
 
 from ..traffic.flowtable import FlowTable
 from ..traffic.sharedtable import SharedFlowTable
@@ -95,7 +96,7 @@ class ShardWorkerPool:
 #: A runtime carries all cross-interval state; the sticky placement in
 #: :class:`ShardWorkerPool` guarantees every chunk of a shard lands in
 #: the process holding its runtime.
-_RUNTIMES: Dict[Tuple[int, int], Any] = {}
+_RUNTIMES: dict[tuple[int, int], Any] = {}
 
 _run_tokens = itertools.count(1)
 
@@ -110,9 +111,9 @@ def _run_shard_chunk(
     factory_kwargs: Mapping[str, Any],
     run_token: int,
     shard_index: int,
-    times: Tuple[float, ...],
+    times: tuple[float, ...],
     interval: float,
-) -> List[Dict[str, Any]]:
+) -> list[dict[str, Any]]:
     """Run one chunk of intervals on one shard's runtime (worker side).
 
     The first chunk of a run instantiates the runtime via ``factory``
@@ -149,7 +150,7 @@ def iter_shard_intervals(
     workers: int = 4,
     chunk_intervals: int = 8,
     mp_context=None,
-) -> Iterator[Tuple[float, List[Dict[str, Any]]]]:
+) -> Iterator[tuple[float, list[dict[str, Any]]]]:
     """Stream per-shard interval payloads in time order.
 
     Yields ``(interval_start, payloads)`` with one payload per shard, in
@@ -191,7 +192,7 @@ def iter_shard_intervals(
     ]
     run_token = _next_run_token()
     pool = ShardWorkerPool(workers=min(workers, shard_count), mp_context=mp_context)
-    pending: List[deque] = [deque() for _ in range(shard_count)]
+    pending: list[deque] = [deque() for _ in range(shard_count)]
     next_chunk = [0] * shard_count
 
     def submit_next(shard_index: int) -> None:
@@ -212,7 +213,7 @@ def iter_shard_intervals(
             )
         )
 
-    current_chunk: List[List[Dict[str, Any]]] = []
+    current_chunk: list[list[dict[str, Any]]] = []
     try:
         for _ in range(WINDOW_CHUNKS):
             for shard_index in range(shard_count):
@@ -246,7 +247,7 @@ def iter_shard_intervals(
         # Unlink any blocks that were produced but never consumed (early
         # exit or failure downstream): unyielded rows of the chunk being
         # walked, plus completed chunks still queued.
-        leftovers: List[Dict[str, Any]] = [
+        leftovers: list[dict[str, Any]] = [
             payload for payloads in current_chunk for payload in payloads
         ]
         for queue in pending:

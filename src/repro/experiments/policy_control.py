@@ -11,8 +11,8 @@ policy controls are exercised end to end), and recovers the distribution.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.compliance import PolicyControlDistribution, policy_control_distribution
 from ..bgp.route_server import PolicyControl
@@ -22,7 +22,7 @@ from .results import JsonResultMixin
 
 #: The paper's reported shares per category (Fig. 3(b)), used as sampling
 #: weights for the synthetic announcement log.
-PAPER_FIG3B_SHARES: Dict[str, float] = {
+PAPER_FIG3B_SHARES: dict[str, float] = {
     "All-18": 0.0003,
     "All-5": 0.0049,
     "All-4": 0.0013,
@@ -41,7 +41,7 @@ class PolicyControlConfig:
     member_count: int = 650
     ixp_asn: int = 64700
     seed: int = 13
-    category_shares: Dict[str, float] = field(
+    category_shares: dict[str, float] = field(
         default_factory=lambda: dict(PAPER_FIG3B_SHARES)
     )
 
@@ -57,7 +57,7 @@ class PolicyControlResult(JsonResultMixin):
     def share_of(self, category: str) -> float:
         return self.distribution.share_of(category)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             f"share_{category}": self.share_of(category)
             for category in self.config.category_shares
@@ -100,7 +100,7 @@ def run_policy_control_experiment(
     total = sum(weights)
     probabilities = [weight / total for weight in weights]
 
-    controls: List[PolicyControl] = []
+    controls: list[PolicyControl] = []
     for i in range(config.announcement_count):
         category = categories[int(rng.choice(len(categories), p=probabilities))]
         victim = member_asns[int(rng.integers(0, len(member_asns)))]

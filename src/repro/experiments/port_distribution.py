@@ -15,10 +15,15 @@ work with), and runs the same tests.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
 
-from ..analysis.stats import ConfidenceInterval, WelchTestResult, mean_confidence_interval, welch_t_test
+from ..analysis.stats import (
+    ConfidenceInterval,
+    WelchTestResult,
+    mean_confidence_interval,
+    welch_t_test,
+)
 from ..traffic.amplification import AMPLIFICATION_PRONE_PORTS
 from ..traffic.flowtable import iter_window_masks
 from ..traffic.generator import IxpTraceGenerator
@@ -48,21 +53,21 @@ class PortDistributionResult(JsonResultMixin):
 
     config: PortDistributionConfig
     #: Mean share of blackholed traffic per source port, with CI.
-    blackholed_shares: Dict[int, ConfidenceInterval]
+    blackholed_shares: dict[int, ConfidenceInterval]
     #: Mean share of other traffic per source port, with CI.
-    other_shares: Dict[int, ConfidenceInterval]
+    other_shares: dict[int, ConfidenceInterval]
     #: Welch's t-test per port (blackholed > other).
-    tests: Dict[int, WelchTestResult]
+    tests: dict[int, WelchTestResult]
     #: Protocol byte shares.
     blackholed_udp_share: float
     blackholed_tcp_share: float
     other_tcp_share: float
 
-    def significant_ports(self) -> List[int]:
+    def significant_ports(self) -> list[int]:
         return [port for port, test in self.tests.items() if test.significant]
 
-    def summary(self) -> Dict[str, float]:
-        summary: Dict[str, float] = {
+    def summary(self) -> dict[str, float]:
+        summary: dict[str, float] = {
             "blackholed_udp_share": self.blackholed_udp_share,
             "blackholed_tcp_share": self.blackholed_tcp_share,
             "other_tcp_share": self.other_tcp_share,
@@ -77,9 +82,9 @@ class PortDistributionResult(JsonResultMixin):
 
 def _per_event_port_shares(
     trace: TrafficTrace, ports: Sequence[int], interval: float
-) -> Dict[int, List[float]]:
+) -> dict[int, list[float]]:
     """Per-interval share of bytes on each source port (the test samples)."""
-    samples: Dict[int, List[float]] = {port: [] for port in ports}
+    samples: dict[int, list[float]] = {port: [] for port in ports}
     start, end = trace.start, trace.end
     table = trace.table_or_none()
     if table is not None:

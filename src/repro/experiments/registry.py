@@ -11,8 +11,9 @@ driver functions.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any
 
 from .attack_scenarios import (
     CarpetBombingConfig,
@@ -26,9 +27,9 @@ from .attack_scenarios import (
 )
 from .change_queueing import ChangeQueueingConfig, run_change_queueing_experiment
 from .city_scale import CityScaleConfig, run_city_scale_experiment
-from .fine_grained import FineGrainedConfig, run_fine_grained_experiment
 from .collateral_damage import CollateralDamageConfig, run_collateral_damage_experiment
 from .cpu_update_rate import CpuUpdateRateConfig, run_cpu_update_rate_experiment
+from .fine_grained import FineGrainedConfig, run_fine_grained_experiment
 from .functionality import FunctionalityConfig, run_functionality_experiment
 from .policy_control import PolicyControlConfig, run_policy_control_experiment
 from .port_distribution import PortDistributionConfig, run_port_distribution_experiment
@@ -54,20 +55,20 @@ class ExperimentSpec:
     #: ``runner(config) -> result``; results expose ``to_dict()``/``summary()``.
     runner: Callable[[Any], Any]
     #: Alternative lookup names (module-style names, paper shorthands).
-    aliases: Tuple[str, ...] = ()
+    aliases: tuple[str, ...] = ()
     #: Config overrides applied by ``--quick`` / smoke runs.
     quick_overrides: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
-    def config_fields(self) -> List[dataclasses.Field]:
+    def config_fields(self) -> list[dataclasses.Field]:
         return list(dataclasses.fields(self.config_cls))
 
-    def config_field_names(self) -> List[str]:
+    def config_field_names(self) -> list[str]:
         return [f.name for f in self.config_fields()]
 
     def make_config(self, quick: bool = False, **overrides: Any) -> Any:
         """Build a config, validating override names against the dataclass."""
-        params: Dict[str, Any] = dict(self.quick_overrides) if quick else {}
+        params: dict[str, Any] = dict(self.quick_overrides) if quick else {}
         params.update(overrides)
         known = set(self.config_field_names())
         unknown = sorted(set(params) - known)
@@ -87,8 +88,8 @@ class ExperimentSpec:
         return self.runner(self.make_config(quick=quick, **overrides))
 
 
-_REGISTRY: Dict[str, ExperimentSpec] = {}
-_ALIASES: Dict[str, str] = {}
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_ALIASES: dict[str, str] = {}
 
 
 def register(spec: ExperimentSpec) -> ExperimentSpec:
@@ -114,12 +115,12 @@ def get_experiment(name: str) -> ExperimentSpec:
         raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
 
 
-def all_experiments() -> List[ExperimentSpec]:
+def all_experiments() -> list[ExperimentSpec]:
     """All registered specs, in registration (paper) order."""
     return list(_REGISTRY.values())
 
 
-def experiment_names() -> List[str]:
+def experiment_names() -> list[str]:
     return [spec.name for spec in all_experiments()]
 
 

@@ -19,8 +19,9 @@ import dataclasses
 import enum
 import hashlib
 import json
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Optional
 
 import numpy as np
 
@@ -55,7 +56,7 @@ def to_jsonable(value: Any) -> Any:
             for field in dataclasses.fields(value)
         }
     if isinstance(value, Mapping):
-        encoded: Dict[str, Any] = {}
+        encoded: dict[str, Any] = {}
         for key, item in value.items():
             if isinstance(key, str):
                 name = key
@@ -84,10 +85,10 @@ class JsonResultMixin:
     serialized result carries its headline numbers.
     """
 
-    _json_exclude: ClassVar[Tuple[str, ...]] = ()
+    _json_exclude: ClassVar[tuple[str, ...]] = ()
 
-    def to_dict(self) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {}
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {}
         for field in dataclasses.fields(self):
             if field.name in self._json_exclude:
                 continue
@@ -138,7 +139,7 @@ class ResultStore:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
+    def load(self, key: str) -> Optional[dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` on a miss."""
         path = self.path_for(key)
         if not path.exists():

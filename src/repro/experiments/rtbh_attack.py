@@ -11,7 +11,6 @@ by about 25 %.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from ..analysis.timeseries import AttackTimeSeries
 from ..mitigation.rtbh import RtbhMitigation
@@ -50,7 +49,7 @@ class RtbhAttackResult(JsonResultMixin):
     honoring_peer_count: int
     total_peer_count: int
     #: Phase transitions recorded by the harness: ``(time, kind, details)``.
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -96,7 +95,7 @@ class RtbhAttackResult(JsonResultMixin):
             return 0.0
         return max(0.0, (peak - self.residual_mbps) / peak)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "peak_attack_mbps": self.peak_attack_mbps,
             "residual_mbps": self.residual_mbps,
@@ -129,7 +128,7 @@ def run_rtbh_attack_experiment(
     mitigation = RtbhMitigation(scenario.rtbh)
     series = AttackTimeSeries()
     harness = SteppedExperiment(duration=config.duration, interval=config.interval)
-    blackhole_events: List = []
+    blackhole_events: list = []
 
     def signal_blackhole() -> None:
         blackhole_events.append(signal_host_blackhole(scenario, time=harness.now))

@@ -44,8 +44,9 @@ import dataclasses
 import hashlib
 import json
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.rules import BlackholingRule
@@ -59,6 +60,7 @@ from ..ixp.service import (
     ServiceResponse,
     replay_request_log,
 )
+from ..bgp.prefix import parse_prefix
 from ..ixp.fabric import SwitchingFabric
 from ..ixp.topology import build_multi_pop_fabric, make_member_population
 from ..sim.rng import derive_seed, make_rng
@@ -67,7 +69,6 @@ from ..traffic.attacks import BenignTrafficSource, BooterAttack
 from ..traffic.flowtable import FlowTable
 from ..traffic.generator import IxpTraceGenerator
 from ..traffic.packet import IpProtocol
-from ..bgp.prefix import parse_prefix
 from .results import JsonResultMixin
 from .scenario import DEFAULT_VICTIM_ASN, DEFAULT_VICTIM_IP
 
@@ -146,9 +147,9 @@ class RuleChurnResult(JsonResultMixin):
     churn_member_count: int
     intervals: int
     #: The service's order-independent counters (see ``ServiceStats``).
-    stats: Dict[str, int]
+    stats: dict[str, int]
     #: Rule-propagation latency percentiles (virtual seconds).
-    latency: Dict[str, float]
+    latency: dict[str, float]
     #: Propagation latency of the victim's mitigation install (None if
     #: it was rejected or never completed within the run).
     mitigation_latency: Optional[float]
@@ -168,7 +169,7 @@ class RuleChurnResult(JsonResultMixin):
     request_log_digest: str
     #: The applied-change log itself, canonical order (in-memory only —
     #: excluded from ``to_dict()``; fed to :func:`replay_rule_churn`).
-    request_log: List[AppliedChange] = field(default_factory=list)
+    request_log: list[AppliedChange] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -177,7 +178,7 @@ class RuleChurnResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         ).peak_mbps()
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "requests_submitted": float(self.stats["submitted"]),
             "applied_requests": float(self.stats["applied_requests"]),
@@ -209,7 +210,7 @@ def _router_profile(config: RuleChurnConfig) -> HardwareProfile:
 
 def _build_platform(
     config: RuleChurnConfig,
-) -> Tuple[SwitchingFabric, IxpMember, List[IxpMember]]:
+) -> tuple[SwitchingFabric, IxpMember, list[IxpMember]]:
     """Fabric + membership, identical for live runs and replays."""
     victim = IxpMember(
         asn=DEFAULT_VICTIM_ASN,
@@ -240,8 +241,8 @@ def _build_platform(
 
 
 def _traffic_sources(
-    config: RuleChurnConfig, victim: IxpMember, members: List[IxpMember]
-) -> Tuple[BooterAttack, BenignTrafficSource, IxpTraceGenerator]:
+    config: RuleChurnConfig, victim: IxpMember, members: list[IxpMember]
+) -> tuple[BooterAttack, BenignTrafficSource, IxpTraceGenerator]:
     peer_asns = [member.asn for member in members[: config.attack_peer_count]]
     attack = BooterAttack(
         victim_ip=DEFAULT_VICTIM_IP,
@@ -271,7 +272,7 @@ def _traffic_sources(
     return attack, benign, background
 
 
-def churn_member_asns(config: RuleChurnConfig, members: List[IxpMember]) -> List[int]:
+def churn_member_asns(config: RuleChurnConfig, members: list[IxpMember]) -> list[int]:
     """The deterministic churn population (a prefix of the member list)."""
     count = max(1, int(round(config.churn_member_fraction * len(members))))
     return [member.asn for member in members[:count]]
@@ -285,7 +286,7 @@ def _member_host(member_asn: int, host_index: int) -> str:
 
 def generate_churn_requests(
     config: RuleChurnConfig, churn_asns: Sequence[int]
-) -> List[List[Dict]]:
+) -> list[list[dict]]:
     """Per-interval request descriptors — a pure function of the config.
 
     Each descriptor is ``{"member_asn", "op", "rules", "rule_id", "at"}``
@@ -296,13 +297,13 @@ def generate_churn_requests(
     if config.burst_min < 1 or config.burst_max < config.burst_min:
         raise ValueError("need 1 <= burst_min <= burst_max")
     step_count = int(config.duration / config.interval + 1e-9)
-    issued: Dict[int, List[str]] = {asn: [] for asn in churn_asns}
-    counters: Dict[int, int] = {asn: 0 for asn in churn_asns}
-    per_interval: List[List[Dict]] = []
+    issued: dict[int, list[str]] = {asn: [] for asn in churn_asns}
+    counters: dict[int, int] = {asn: 0 for asn in churn_asns}
+    per_interval: list[list[dict]] = []
     for index in range(step_count):
         interval_start = index * config.interval
         rng = make_rng(derive_seed(config.seed, 50_000 + index))
-        descriptors: List[Dict] = []
+        descriptors: list[dict] = []
         event_count = int(
             rng.poisson(config.churn_events_per_second * config.interval)
         )
@@ -424,7 +425,7 @@ def _make_service(config: RuleChurnConfig, fabric: SwitchingFabric) -> ControlPl
 
 
 def _request_from_descriptor(
-    service: ControlPlaneService, descriptor: Dict
+    service: ControlPlaneService, descriptor: dict
 ) -> ChangeRequest:
     return service.make_request(
         descriptor["member_asn"],
@@ -518,9 +519,9 @@ def _finish(
     fabric: SwitchingFabric,
     service: ControlPlaneService,
     accounting: _IntervalAccounting,
-    responses: List[ServiceResponse],
-    members: List[IxpMember],
-    churn_asns: List[int],
+    responses: list[ServiceResponse],
+    members: list[IxpMember],
+    churn_asns: list[int],
 ) -> RuleChurnResult:
     mitigation_latency: Optional[float] = None
     for response in responses:
@@ -559,14 +560,14 @@ async def _run_service_mode(
     config: RuleChurnConfig,
     fabric: SwitchingFabric,
     victim: IxpMember,
-    members: List[IxpMember],
-    stream: List[List[Dict]],
-    times: List[float],
-) -> Tuple[ControlPlaneService, _IntervalAccounting, List[ServiceResponse]]:
+    members: list[IxpMember],
+    stream: list[list[dict]],
+    times: list[float],
+) -> tuple[ControlPlaneService, _IntervalAccounting, list[ServiceResponse]]:
     attack, benign, background = _traffic_sources(config, victim, members)
     accounting = _IntervalAccounting(config, fabric, victim)
     service = _make_service(config, fabric)
-    tasks: List[asyncio.Task] = []
+    tasks: list[asyncio.Task] = []
     async with service:
         for index, interval_start in enumerate(times):
             for descriptor in stream[index]:
@@ -591,14 +592,14 @@ def _run_scripted_mode(
     config: RuleChurnConfig,
     fabric: SwitchingFabric,
     victim: IxpMember,
-    members: List[IxpMember],
-    stream: List[List[Dict]],
-    times: List[float],
-) -> Tuple[ControlPlaneService, _IntervalAccounting, List[ServiceResponse]]:
+    members: list[IxpMember],
+    stream: list[list[dict]],
+    times: list[float],
+) -> tuple[ControlPlaneService, _IntervalAccounting, list[ServiceResponse]]:
     attack, benign, background = _traffic_sources(config, victim, members)
     accounting = _IntervalAccounting(config, fabric, victim)
     service = _make_service(config, fabric)
-    responses: List[ServiceResponse] = []
+    responses: list[ServiceResponse] = []
     for index, interval_start in enumerate(times):
         for descriptor in stream[index]:
             request = _request_from_descriptor(service, descriptor)

@@ -16,8 +16,8 @@ criteria exhausted) or F2 (MAC filter entries exhausted).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
 
 from ..ixp.hardware_profiles import (
     PARALLEL_RTBH_95TH_PERCENTILE,
@@ -51,7 +51,7 @@ class ScalingMatrix:
     adoption_rate: float
     active_ports: int
     #: ``cells[(mac_multiple, l3l4_multiple)] -> TcamStatus``
-    cells: Dict[Tuple[int, int], TcamStatus]
+    cells: dict[tuple[int, int], TcamStatus]
 
     def status(self, mac_multiple: int, l3l4_multiple: int) -> TcamStatus:
         return self.cells[(mac_multiple, l3l4_multiple)]
@@ -62,7 +62,7 @@ class ScalingMatrix:
         ok = sum(1 for status in self.cells.values() if status is TcamStatus.OK)
         return ok / len(self.cells)
 
-    def feasible_region(self) -> List[Tuple[int, int]]:
+    def feasible_region(self) -> list[tuple[int, int]]:
         return [key for key, status in self.cells.items() if status is TcamStatus.OK]
 
     def render(self, mac_multiples: Sequence[int], l3l4_multiples: Sequence[int]) -> str:
@@ -83,12 +83,12 @@ class ScalingResult(JsonResultMixin):
     """Feasibility matrices for every adoption rate."""
 
     config: ScalingConfig
-    matrices: Dict[float, ScalingMatrix]
+    matrices: dict[float, ScalingMatrix]
 
     def matrix(self, adoption_rate: float) -> ScalingMatrix:
         return self.matrices[adoption_rate]
 
-    def summary(self) -> Dict[float, float]:
+    def summary(self) -> dict[float, float]:
         """OK fraction per adoption rate."""
         return {rate: matrix.ok_fraction() for rate, matrix in self.matrices.items()}
 
@@ -117,12 +117,12 @@ def run_scaling_experiment(config: ScalingConfig | None = None) -> ScalingResult
     """Run the Fig. 9 sweep and return the feasibility matrices."""
     config = config if config is not None else ScalingConfig()
     n = config.parallel_rtbh_n
-    matrices: Dict[float, ScalingMatrix] = {}
+    matrices: dict[float, ScalingMatrix] = {}
     for rate in config.adoption_rates:
         if not 0 < rate <= 1:
             raise ValueError(f"adoption rate must lie in (0, 1], got {rate}")
         active_ports = int(round(config.profile.port_count * rate))
-        cells: Dict[Tuple[int, int], TcamStatus] = {}
+        cells: dict[tuple[int, int], TcamStatus] = {}
         for mac_multiple in config.mac_multiples:
             for l3l4_multiple in config.l3l4_multiples:
                 cells[(mac_multiple, l3l4_multiple)] = evaluate_cell(
@@ -139,7 +139,7 @@ def run_scaling_experiment(config: ScalingConfig | None = None) -> ScalingResult
 
 #: The paper's Fig. 9 matrices, transcribed for comparison in tests/benches.
 #: Keys: adoption rate -> {(mac_multiple, l3l4_multiple): status string}.
-PAPER_FIG9: Dict[float, Dict[Tuple[int, int], str]] = {
+PAPER_FIG9: dict[float, dict[tuple[int, int], str]] = {
     0.2: {
         (mac, l3l4): "OK"
         for mac in DEFAULT_MAC_MULTIPLES

@@ -16,8 +16,9 @@ every mitigation driver can run against every attack shape.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.stellar import Stellar
@@ -67,14 +68,14 @@ class AttackScenario:
     stellar: Stellar
     fabric: SwitchingFabric
     victim: IxpMember
-    peers: List[IxpMember]
+    peers: list[IxpMember]
     attack: AttackSource
     benign: BenignTrafficSource
     rtbh: RtbhService
     victim_ip: str = DEFAULT_VICTIM_IP
 
     @property
-    def peer_asns(self) -> List[int]:
+    def peer_asns(self) -> list[int]:
         return [peer.asn for peer in self.peers]
 
 
@@ -142,9 +143,9 @@ class PaperScaleScenario:
     stellar: Stellar
     fabric: SwitchingFabric
     victim: IxpMember
-    members: List[IxpMember]
+    members: list[IxpMember]
     #: Members the booter attack arrives through.
-    attack_peers: List[IxpMember]
+    attack_peers: list[IxpMember]
     attack: BooterAttack
     benign: BenignTrafficSource
     #: Platform-wide cross-member background load (one batch per interval).
@@ -152,7 +153,7 @@ class PaperScaleScenario:
     victim_ip: str = DEFAULT_VICTIM_IP
 
     @property
-    def member_asns(self) -> List[int]:
+    def member_asns(self) -> list[int]:
         return [member.asn for member in self.members]
 
 
@@ -274,9 +275,9 @@ class FineGrainedScenario:
     """
 
     fabric: SwitchingFabric
-    members: List[IxpMember]
+    members: list[IxpMember]
     #: The members holding fine-grained rule sets, in install order.
-    protected: List[IxpMember]
+    protected: list[IxpMember]
     #: Every installed blackholing rule, per protected member ASN.
     rules_by_member: "dict[int, list]"
     #: All (dst_ip int, src_port, egress ASN) triples covered by a rule.
@@ -367,7 +368,7 @@ def build_fine_grained_scenario(
     protected = members[:protected_member_count]
     peer_asns = [member.asn for member in members[protected_member_count:]]
     rules_by_member: dict[int, list] = {}
-    covered: List[tuple] = []
+    covered: list[tuple] = []
     for index, member in enumerate(protected):
         hosts = [
             f"10.{index + 1}.{host >> 8}.{host & 255}"

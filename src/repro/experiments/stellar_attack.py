@@ -17,7 +17,6 @@ mitigates it with Advanced Blackholing instead of RTBH:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from ..analysis.timeseries import AttackTimeSeries, record_delivery
 from ..core.rules import BlackholingRule
@@ -52,7 +51,7 @@ class StellarAttackResult(JsonResultMixin):
     config: StellarAttackConfig
     series: AttackTimeSeries
     #: Phase transitions recorded by the harness: ``(time, kind, details)``.
-    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
 
     @property
     def peak_attack_mbps(self) -> float:
@@ -94,7 +93,7 @@ class StellarAttackResult(JsonResultMixin):
             self.config.attack_start + self.config.attack_duration,
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "peak_attack_mbps": self.peak_attack_mbps,
             "shaped_phase_mbps": self.shaped_phase_mbps,

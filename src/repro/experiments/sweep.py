@@ -22,9 +22,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Optional
 
 from ..sim.rng import derive_seed
 from .parallel import spawn_context
@@ -61,7 +62,7 @@ class Sweep:
     #: Apply the experiment's quick overrides beneath ``base``/``grid``.
     quick: bool = False
 
-    def points(self) -> List[Dict[str, Any]]:
+    def points(self) -> list[dict[str, Any]]:
         """The per-point override dicts, in deterministic grid order."""
         spec = get_experiment(self.experiment)
         known = set(spec.config_field_names())
@@ -77,7 +78,7 @@ class Sweep:
             )
         names = list(self.grid)
         combos = itertools.product(*(self.grid[name] for name in names))
-        points: List[Dict[str, Any]] = []
+        points: list[dict[str, Any]] = []
         for combo in combos:
             overrides = dict(self.base)
             overrides.update(zip(names, combo))
@@ -86,7 +87,7 @@ class Sweep:
             points.append(overrides)
         return points
 
-    def resolved_configs(self) -> List[Dict[str, Any]]:
+    def resolved_configs(self) -> list[dict[str, Any]]:
         """Fully resolved (defaults included) config dict per point."""
         spec = get_experiment(self.experiment)
         return [
@@ -101,9 +102,9 @@ class SweepResult(JsonResultMixin):
 
     experiment: str
     #: The override dict that produced each point.
-    points: List[Dict[str, Any]]
+    points: list[dict[str, Any]]
     #: ``result.to_dict()`` per point, aligned with :attr:`points`.
-    results: List[Dict[str, Any]]
+    results: list[dict[str, Any]]
     #: How many points were served from the artifact store.
     cached_points: int = 0
     #: How many worker processes were used (1 = serial).
@@ -112,11 +113,11 @@ class SweepResult(JsonResultMixin):
     def __len__(self) -> int:
         return len(self.results)
 
-    def summaries(self) -> List[Dict[str, Any]]:
+    def summaries(self) -> list[dict[str, Any]]:
         """The summary block of every point (empty dict when absent)."""
         return [result.get("summary", {}) for result in self.results]
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "points": float(len(self.results)),
             "cached_points": float(self.cached_points),
@@ -124,7 +125,7 @@ class SweepResult(JsonResultMixin):
         }
 
 
-def _run_point(experiment: str, overrides: Mapping[str, Any], quick: bool) -> Dict[str, Any]:
+def _run_point(experiment: str, overrides: Mapping[str, Any], quick: bool) -> dict[str, Any]:
     """Execute one sweep point and serialize its result.
 
     Module-level (and driven purely by its arguments) so it can be shipped
@@ -159,8 +160,8 @@ def run_sweep(
     configs = sweep.resolved_configs()
     keys = [ResultStore.key_for(spec.name, config) for config in configs]
 
-    results: List[Optional[Dict[str, Any]]] = [None] * len(points)
-    missing: List[int] = []
+    results: list[Optional[dict[str, Any]]] = [None] * len(points)
+    missing: list[int] = []
     for index in range(len(points)):
         cached = store.load(keys[index]) if store is not None else None
         if cached is not None:
@@ -170,7 +171,7 @@ def run_sweep(
 
     # Each point is persisted the moment it completes (not after the whole
     # batch), so an interrupted sweep still resumes incrementally.
-    def finish(index: int, payload: Dict[str, Any]) -> None:
+    def finish(index: int, payload: dict[str, Any]) -> None:
         results[index] = payload
         if store is not None:
             store.save(keys[index], payload)

@@ -11,7 +11,6 @@ so the qualitative claims can be sanity-checked against behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..analysis.collateral import collateral_damage
 from ..bgp.flowspec import drop_rule
@@ -61,10 +60,10 @@ def build_table1() -> ComparisonTable:
 class QuantitativeComparisonResult(JsonResultMixin):
     """Residual attack and collateral damage per technique on one scenario."""
 
-    residual_attack_fraction: Dict[str, float]
-    collateral_damage_fraction: Dict[str, float]
+    residual_attack_fraction: dict[str, float]
+    collateral_damage_fraction: dict[str, float]
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         summary = {}
         for name, value in self.residual_attack_fraction.items():
             summary[f"residual_attack_{name}"] = value
@@ -88,7 +87,7 @@ class Table1Result(JsonResultMixin):
     matches_paper: bool
     comparison: QuantitativeComparisonResult
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "matches_paper": float(self.matches_paper),
             **self.comparison.summary(),
@@ -132,15 +131,15 @@ def run_quantitative_comparison(seed: int = 19) -> QuantitativeComparisonResult:
         peer_asns,
     )
 
-    techniques: Dict[str, MitigationTechnique] = {
+    techniques: dict[str, MitigationTechnique] = {
         "TSS": ScrubbingMitigation(active_since=-1e9, seed=seed),
         "ACL filters": AclMitigation(acl),
         "RTBH": RtbhMitigation(rtbh_service),
         "Flowspec": FlowspecMitigation(flowspec_service),
     }
 
-    residual: Dict[str, float] = {}
-    collateral: Dict[str, float] = {}
+    residual: dict[str, float] = {}
+    collateral: dict[str, float] = {}
     for name, technique in techniques.items():
         outcome = technique.apply(flows, interval)
         report = collateral_damage(outcome)

@@ -14,8 +14,8 @@ plus Gaussian measurement noise.  Default coefficients are calibrated so
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class ControlPlaneCpuModel:
 
     def measure_series(
         self, updates_per_second: Sequence[float], samples_per_rate: int = 1
-    ) -> List[tuple[float, float]]:
+    ) -> list[tuple[float, float]]:
         """Measure CPU usage for a sweep of update rates.
 
         Returns ``(rate, cpu_percent)`` pairs — the scatter of Fig. 10(a).

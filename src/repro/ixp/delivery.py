@@ -47,8 +47,9 @@ record-list input.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -93,20 +94,20 @@ class FabricDeliveryPlan:
         # Key membership off the fabric's member registry (the same source
         # of truth the per-member engine and the IPFIX export filter use),
         # not off whatever ports the routers happen to carry.
-        self._ports: Dict[int, MemberPort] = {
+        self._ports: dict[int, MemberPort] = {
             member.asn: fabric.port_for_member(member.asn)
             for member in fabric.members()
         }
         #: The platform-level rule set, grouped per member in per-port
         #: precedence order (members in ascending ASN order, matching the
         #: sorted group-by the execution pass produces).
-        self._rules: List[CompiledRule] = []
-        self._rules_by_member: Dict[int, List[int]] = {}
+        self._rules: list[CompiledRule] = []
+        self._rules_by_member: dict[int, list[int]] = {}
         #: First global index of each filtered member's contiguous rule
         #: block (global index = start + port-local rank).
-        self._member_start: Dict[int, int] = {}
+        self._member_start: dict[int, int] = {}
         #: Rule-set version of every port at compile time (the cache key).
-        self._port_versions: Dict[int, int] = {}
+        self._port_versions: dict[int, int] = {}
         for asn in sorted(self._ports):
             qos = self._ports[asn].qos
             self._port_versions[asn] = qos.rules_version
@@ -115,7 +116,7 @@ class FabricDeliveryPlan:
                 continue
             start = len(self._rules)
             self._member_start[asn] = start
-            indices: List[int] = []
+            indices: list[int] = []
             for position, rule in enumerate(sorted_rules):
                 indices.append(len(self._rules))
                 self._rules.append(
@@ -134,7 +135,7 @@ class FabricDeliveryPlan:
     def rule_count(self) -> int:
         return len(self._rules)
 
-    def compiled_rules(self) -> List[CompiledRule]:
+    def compiled_rules(self) -> list[CompiledRule]:
         return list(self._rules)
 
     def is_current(self) -> bool:
@@ -192,6 +193,15 @@ class FabricDeliveryPlan:
             table, bits, unique_asns, rows_per_group
         )
 
+        # Platform totals are collected per member and reduced once after
+        # the loop; sum() adds left-to-right in ascending-ASN group order,
+        # exactly the sequence the old running `+=` produced, so report
+        # payloads stay bit-for-bit identical (RPL006: no float `+=` in
+        # loops).
+        offered_terms: list[float] = []
+        delivered_terms: list[float] = []
+        filtered_terms: list[float] = []
+        congestion_terms: list[float] = []
         for group_index, asn in enumerate(unique_asns.tolist()):
             port = self._ports.get(asn)
             if port is None:
@@ -209,10 +219,14 @@ class FabricDeliveryPlan:
             if port.retain_history:
                 port.history.append((interval_start, result))
             report.results_by_member[asn] = result
-            report.offered_bits += offered
-            report.delivered_bits += result.delivered_bits
-            report.filtered_bits += result.dropped_bits + result.shaped_dropped_bits
-            report.congestion_dropped_bits += result.congestion_dropped_bits
+            offered_terms.append(offered)
+            delivered_terms.append(result.delivered_bits)
+            filtered_terms.append(result.dropped_bits + result.shaped_dropped_bits)
+            congestion_terms.append(result.congestion_dropped_bits)
+        report.offered_bits = float(sum(offered_terms))
+        report.delivered_bits = float(sum(delivered_terms))
+        report.filtered_bits = float(sum(filtered_terms))
+        report.congestion_dropped_bits = float(sum(congestion_terms))
         return report
 
     # ------------------------------------------------------------------
@@ -221,8 +235,8 @@ class FabricDeliveryPlan:
         table: FlowTable,
         bits: np.ndarray,
         unique_asns: np.ndarray,
-        rows_per_group,
-    ) -> tuple:
+        rows_per_group: Sequence[np.ndarray],
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Assign each row its claiming rule (global index, or -1 = forward).
 
         Rules of different members are disjoint by the egress column, so
@@ -306,9 +320,9 @@ class FabricDeliveryPlan:
         assigned_rows = assigned[rows]
         matched = assigned_rows >= 0
         local = (assigned_rows - start).astype(np.int64)
-        rule_stats: Dict[str, Dict[str, float]] = {}
+        rule_stats: dict[str, dict[str, float]] = {}
 
-        def stats_for(rule: QosRule) -> Dict[str, float]:
+        def stats_for(rule: QosRule) -> dict[str, float]:
             return rule_stats.setdefault(
                 rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
             )
@@ -319,7 +333,7 @@ class FabricDeliveryPlan:
             row_actions[matched] = qos.action_codes()[local[matched]]
         forward_mask = row_actions == _FORWARD_CODE
         drop_mask = row_actions == _DROP_CODE
-        shape_groups: Dict[str, List[int]] = {}
+        shape_groups: dict[str, list[int]] = {}
         for rank in claimed:
             rule = self._rules[start + rank].rule
             if rule.action is FilterAction.DROP:
@@ -333,9 +347,11 @@ class FabricDeliveryPlan:
                 shape_groups.setdefault(rule.rule_id, []).append(rank)
 
         rows_by_rank = _shape_rows_by_rank(local, row_actions)
-        shaped_tables: List[FlowTable] = []
-        shaped_passed = 0.0
-        shaped_dropped = 0.0
+        shaped_tables: list[FlowTable] = []
+        # Per-shaper terms, reduced once after the loop in the same order
+        # the old running `+=` added them (RPL006) — bit-for-bit identical.
+        passed_terms: list[float] = []
+        dropped_terms: list[float] = []
         for key, group_ranks in shape_groups.items():
             positions = _group_rows(rows_by_rank, group_ranks)
             group_rows = rows[positions]
@@ -355,8 +371,10 @@ class FabricDeliveryPlan:
                 stats = stats_for(self._rules[start + rank].rule)
                 stats["matched"] += rule_bits
                 stats["shaped"] += rule_bits
-            shaped_passed += passed_bits
-            shaped_dropped += dropped_bits
+            passed_terms.append(passed_bits)
+            dropped_terms.append(dropped_bits)
+        shaped_passed = float(sum(passed_terms))
+        shaped_dropped = float(sum(dropped_terms))
 
         forward_rows = rows[forward_mask]
         drop_rows = rows[drop_mask]

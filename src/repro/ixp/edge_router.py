@@ -8,8 +8,9 @@ router so TCAM accounting and update-rate accounting stay consistent.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import FlowTable
@@ -50,11 +51,11 @@ class EdgeRouter:
         self.profile = profile if profile is not None else l_ixp_edge_router_profile()
         self.tcam: TcamModel = self.profile.make_tcam()
         self.cpu: ControlPlaneCpuModel = self.profile.make_cpu_model(seed=seed)
-        self._ports_by_asn: Dict[int, MemberPort] = {}
+        self._ports_by_asn: dict[int, MemberPort] = {}
         # Keyed by (port_id, rule_id): rule ids are scoped to one member
         # port's policy, so the same id on two ports of this router is two
         # independent installations, not a replacement.
-        self._installations: Dict[tuple[int, str], RuleInstallation] = {}
+        self._installations: dict[tuple[int, str], RuleInstallation] = {}
         self._next_port_id = 1
         #: Total number of configuration (rule add/remove) operations applied.
         self.config_operations = 0
@@ -87,7 +88,7 @@ class EdgeRouter:
     def has_member(self, member_asn: int) -> bool:
         return member_asn in self._ports_by_asn
 
-    def ports(self) -> List[MemberPort]:
+    def ports(self) -> list[MemberPort]:
         return list(self._ports_by_asn.values())
 
     @property
@@ -218,7 +219,7 @@ class EdgeRouter:
         """Feasibility check without installing (used by admission control)."""
         return self.tcam.check(rule.match.mac_filter_entries, rule.match.l3l4_criteria)
 
-    def installed_rules(self) -> List[QosRule]:
+    def installed_rules(self) -> list[QosRule]:
         return [installation.rule for installation in self._installations.values()]
 
     # ------------------------------------------------------------------
@@ -226,12 +227,12 @@ class EdgeRouter:
     # ------------------------------------------------------------------
     def deliver(
         self,
-        flows_by_member: Dict[int, Union[Sequence[FlowRecord], FlowTable]],
+        flows_by_member: dict[int, Union[Sequence[FlowRecord], FlowTable]],
         interval: float,
         interval_start: float = 0.0,
-    ) -> Dict[int, PortQosResult]:
+    ) -> dict[int, PortQosResult]:
         """Deliver one interval of egress traffic, per destination member."""
-        results: Dict[int, PortQosResult] = {}
+        results: dict[int, PortQosResult] = {}
         for member_asn, flows in flows_by_member.items():
             port = self.port_for(member_asn)
             results[member_asn] = port.deliver(flows, interval, interval_start)

@@ -12,8 +12,9 @@ spare capacity to carry attack traffic to the egress port (§4.5).
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -38,7 +39,7 @@ class FabricIntervalReport:
     delivered_bits: float = 0.0
     filtered_bits: float = 0.0
     congestion_dropped_bits: float = 0.0
-    results_by_member: Dict[int, PortQosResult] = field(default_factory=dict)
+    results_by_member: dict[int, PortQosResult] = field(default_factory=dict)
 
     @property
     def platform_load_bps(self) -> float:
@@ -47,7 +48,7 @@ class FabricIntervalReport:
             return 0.0
         return self.offered_bits / self.interval
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         """Canonical JSON-serializable view of the interval outcome.
 
         Every number the delivery engines *compute* is included — platform
@@ -126,14 +127,14 @@ class SwitchingFabric:
         self.collect_ipfix = collect_ipfix
         self.retain_reports = retain_reports
         self.retain_history = retain_history
-        self._edge_routers: Dict[str, EdgeRouter] = {}
-        self._members: Dict[int, IxpMember] = {}
-        self._router_for_member: Dict[int, str] = {}
+        self._edge_routers: dict[str, EdgeRouter] = {}
+        self._members: dict[int, IxpMember] = {}
+        self._router_for_member: dict[int, str] = {}
         self.collector = IpfixCollector()
         self._exporter = IpfixExporter(
             exporter_id=f"{name}-fabric", sampling_rate=ipfix_sampling_rate
         )
-        self.reports: List[FabricIntervalReport] = []
+        self.reports: list[FabricIntervalReport] = []
         self._plan_cache: Optional[FabricDeliveryPlan] = None
 
     # ------------------------------------------------------------------
@@ -166,7 +167,7 @@ class SwitchingFabric:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def members(self) -> List[IxpMember]:
+    def members(self) -> list[IxpMember]:
         return list(self._members.values())
 
     @property
@@ -179,7 +180,7 @@ class SwitchingFabric:
         except KeyError as exc:
             raise KeyError(f"AS{asn} is not a member of {self.name}") from exc
 
-    def edge_routers(self) -> List[EdgeRouter]:
+    def edge_routers(self) -> list[EdgeRouter]:
         return list(self._edge_routers.values())
 
     def router_for_member(self, member_asn: int) -> EdgeRouter:
@@ -280,7 +281,7 @@ class SwitchingFabric:
                 f"unknown delivery engine {engine!r}; known: {', '.join(DELIVERY_ENGINES)}"
             )
         if isinstance(flows, FlowTable):
-            export_flows: Union[List[FlowRecord], FlowTable] = self._known_egress(flows)
+            export_flows: Union[list[FlowRecord], FlowTable] = self._known_egress(flows)
             if engine == "batched":
                 report = self.current_delivery_plan().execute(
                     flows, interval, interval_start
@@ -291,7 +292,7 @@ class SwitchingFabric:
                 )
         else:
             flows = list(flows)
-            grouped: Dict[int, List[FlowRecord]] = defaultdict(list)
+            grouped: dict[int, list[FlowRecord]] = defaultdict(list)
             export_flows = []
             for flow in flows:
                 if flow.egress_member_asn in self._members:
@@ -319,9 +320,9 @@ class SwitchingFabric:
         known = np.isin(flows.egress_asn, member_asns)
         return flows if bool(known.all()) else flows.select(known)
 
-    def _group_table(self, flows: FlowTable) -> Dict[int, FlowTable]:
+    def _group_table(self, flows: FlowTable) -> dict[int, FlowTable]:
         """Per-member sub-tables (the per-member engine's group-by)."""
-        by_member: Dict[int, FlowTable] = {}
+        by_member: dict[int, FlowTable] = {}
         egress = flows.egress_asn
         for member_asn in np.unique(egress).tolist():
             if member_asn in self._members:
@@ -330,12 +331,20 @@ class SwitchingFabric:
 
     def _deliver_per_member(
         self,
-        by_member: Dict[int, Union[List[FlowRecord], FlowTable]],
+        by_member: dict[int, Union[list[FlowRecord], FlowTable]],
         interval: float,
         interval_start: float,
     ) -> FabricIntervalReport:
         """The fallback engine: one ``qos.apply`` per egress member."""
         report = FabricIntervalReport(interval_start=interval_start, interval=interval)
+        # Platform totals are collected per member and reduced once after
+        # the loop; sum() adds left-to-right in member order, exactly the
+        # sequence the old running `+=` produced, so report payloads stay
+        # bit-for-bit identical (RPL006: no float `+=` in loops).
+        offered_terms: list[float] = []
+        delivered_terms: list[float] = []
+        filtered_terms: list[float] = []
+        congestion_terms: list[float] = []
         for member_asn, member_flows in by_member.items():
             router = self.router_for_member(member_asn)
             result = router.deliver(
@@ -346,10 +355,14 @@ class SwitchingFabric:
                 offered = float(member_flows.total_bits)
             else:
                 offered = float(sum(flow.bits for flow in member_flows))
-            report.offered_bits += offered
-            report.delivered_bits += result.delivered_bits
-            report.filtered_bits += result.dropped_bits + result.shaped_dropped_bits
-            report.congestion_dropped_bits += result.congestion_dropped_bits
+            offered_terms.append(offered)
+            delivered_terms.append(result.delivered_bits)
+            filtered_terms.append(result.dropped_bits + result.shaped_dropped_bits)
+            congestion_terms.append(result.congestion_dropped_bits)
+        report.offered_bits = float(sum(offered_terms))
+        report.delivered_bits = float(sum(delivered_terms))
+        report.filtered_bits = float(sum(filtered_terms))
+        report.congestion_dropped_bits = float(sum(congestion_terms))
         return report
 
     def platform_overloaded(self, report: FabricIntervalReport) -> bool:

@@ -11,7 +11,6 @@ RTBH compliance analysis (§2.4) — whether it honours blackholing signals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 def default_mac(asn: int) -> str:

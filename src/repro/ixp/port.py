@@ -8,8 +8,9 @@ blackholing users receive (forwarded vs. dropped vs. shaped volumes).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import Union
 
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import FlowTable
@@ -51,7 +52,7 @@ class MemberPort:
         self.qos = PortQosPolicy(port_capacity_bps=member.port_capacity_bps)
         self.counters = PortCounters()
         #: Per-interval history of (interval_start, PortQosResult).
-        self.history: List[tuple[float, PortQosResult]] = []
+        self.history: list[tuple[float, PortQosResult]] = []
         #: Whether :attr:`history` accumulates.  Hour-long streaming runs
         #: disable it — each retained result closes over its interval's
         #: flow tables, which would hold the whole trace in RAM.  The
@@ -76,7 +77,7 @@ class MemberPort:
     def remove_rule(self, rule_id: str) -> bool:
         return self.qos.remove(rule_id)
 
-    def rules(self) -> List[QosRule]:
+    def rules(self) -> list[QosRule]:
         return self.qos.rules()
 
     # ------------------------------------------------------------------

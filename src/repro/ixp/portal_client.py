@@ -16,7 +16,7 @@ Two clients with the same operation vocabulary:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from .fabric import SwitchingFabric
 from .qos import QosRule
@@ -102,7 +102,7 @@ class ScriptedPortal:
     def clear(self, member_asn: int) -> int:
         return self.fabric.router_for_member(member_asn).clear_rules(member_asn)
 
-    def telemetry(self, member_asn: int) -> Dict:
+    def telemetry(self, member_asn: int) -> dict:
         router = self.fabric.router_for_member(member_asn)
         port = router.port_for(member_asn)
         mac_used, l3l4_used = router.tcam.usage_for_port(port.port_id)

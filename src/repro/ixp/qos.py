@@ -20,9 +20,10 @@ vectorized column matchers — the fast path the attack experiments run on.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -198,9 +199,9 @@ class PortQosResult:
 
     def __init__(
         self,
-        forwarded: Optional[List[FlowRecord]] = None,
-        dropped: Optional[List[FlowRecord]] = None,
-        shaped: Optional[List[FlowRecord]] = None,
+        forwarded: Optional[list[FlowRecord]] = None,
+        dropped: Optional[list[FlowRecord]] = None,
+        shaped: Optional[list[FlowRecord]] = None,
         forwarded_bits: float = 0.0,
         dropped_bits: float = 0.0,
         shaped_passed_bits: float = 0.0,
@@ -209,7 +210,7 @@ class PortQosResult:
         forwarded_table: Optional[FlowTable] = None,
         dropped_table: Optional[FlowTable] = None,
         shaped_table: Optional[FlowTable] = None,
-        rule_stats: Optional[Dict[str, Dict[str, float]]] = None,
+        rule_stats: Optional[dict[str, dict[str, float]]] = None,
         table_source: Optional[
             Callable[[], tuple[FlowTable, FlowTable, FlowTable]]
         ] = None,
@@ -226,7 +227,7 @@ class PortQosResult:
         self.shaped_passed_bits = shaped_passed_bits
         self.shaped_dropped_bits = shaped_dropped_bits
         self.congestion_dropped_bits = congestion_dropped_bits
-        self.rule_stats: Dict[str, Dict[str, float]] = (
+        self.rule_stats: dict[str, dict[str, float]] = (
             rule_stats if rule_stats is not None else {}
         )
 
@@ -269,7 +270,7 @@ class PortQosResult:
     # Record views (lazy when columnar tables are present)
     # ------------------------------------------------------------------
     @property
-    def forwarded(self) -> List[FlowRecord]:
+    def forwarded(self) -> list[FlowRecord]:
         if self._forwarded is None:
             self._forwarded = (
                 self.forwarded_table.to_records() if self.forwarded_table is not None else []
@@ -277,7 +278,7 @@ class PortQosResult:
         return self._forwarded
 
     @property
-    def dropped(self) -> List[FlowRecord]:
+    def dropped(self) -> list[FlowRecord]:
         if self._dropped is None:
             self._dropped = (
                 self.dropped_table.to_records() if self.dropped_table is not None else []
@@ -285,7 +286,7 @@ class PortQosResult:
         return self._dropped
 
     @property
-    def shaped(self) -> List[FlowRecord]:
+    def shaped(self) -> list[FlowRecord]:
         if self._shaped is None:
             self._shaped = (
                 self.shaped_table.to_records() if self.shaped_table is not None else []
@@ -329,7 +330,7 @@ _ACTION_CODES = {
 
 def _shape_rows_by_rank(
     assigned: np.ndarray, row_actions: np.ndarray
-) -> Dict[int, np.ndarray]:
+) -> dict[int, np.ndarray]:
     """Rows claimed by each SHAPE rule rank, ascending within each rank.
 
     One stable group-by over the shaped rows replaces a per-shape-rule
@@ -348,7 +349,7 @@ def _shape_rows_by_rank(
     return dict(zip(unique.tolist(), np.split(sorted_rows, starts[1:])))
 
 
-def _group_rows(rows_by_rank: Dict[int, np.ndarray], rule_indices: List[int]) -> np.ndarray:
+def _group_rows(rows_by_rank: dict[int, np.ndarray], rule_indices: list[int]) -> np.ndarray:
     """Rows of a shaper group's rules, in ascending (original) row order."""
     if len(rule_indices) == 1:
         return rows_by_rank[rule_indices[0]]
@@ -378,9 +379,9 @@ class PortQosPolicy:
             )
         self.port_capacity_bps = port_capacity_bps
         self.classification_engine = classification_engine
-        self._rules: List[QosRule] = []
-        self._sorted_rules: List[QosRule] = []
-        self._shapers: Dict[str, RateLimiter] = {}
+        self._rules: list[QosRule] = []
+        self._sorted_rules: list[QosRule] = []
+        self._shapers: dict[str, RateLimiter] = {}
         #: Monotonic rule-set version; every mutation bumps it, and the
         #: compiled index / fabric delivery plan caches key off it.
         self._version = 0
@@ -446,14 +447,14 @@ class PortQosPolicy:
         for the whole batch instead of O(R² log R) — the path the
         fine-grained scenario uses to stage tens of thousands of rules.
         """
-        normalised: List[QosRule] = []
+        normalised: list[QosRule] = []
         taken: set[str] = set()
         for rule in rules:
             rule = self._normalise(rule, taken)
             if rule.rule_id:
                 taken.add(rule.rule_id)
             normalised.append(rule)
-        batch: List[QosRule] = []
+        batch: list[QosRule] = []
         seen: set[str] = set()
         for rule in reversed(normalised):
             if rule.rule_id:
@@ -488,10 +489,10 @@ class PortQosPolicy:
         self._resort()
         return True
 
-    def rules(self) -> List[QosRule]:
+    def rules(self) -> list[QosRule]:
         return list(self._rules)
 
-    def rule_ids(self) -> List[str]:
+    def rule_ids(self) -> list[str]:
         """Installed rule ids in install order.
 
         Anonymous SHAPE rules appear under the synthetic ``anon-<n>`` id
@@ -501,7 +502,7 @@ class PortQosPolicy:
         """
         return [rule.rule_id for rule in self._rules]
 
-    def sorted_rules(self) -> List[QosRule]:
+    def sorted_rules(self) -> list[QosRule]:
         """The rules in classification (most-specific-first) order.
 
         The batched fabric delivery engine compiles these into its
@@ -619,10 +620,10 @@ class PortQosPolicy:
     # ------------------------------------------------------------------
     def _apply_records(self, flows: Sequence[FlowRecord], interval: float) -> PortQosResult:
         result = PortQosResult(forwarded=[], dropped=[], shaped=[])
-        shaped_by_rule: Dict[str, List[FlowRecord]] = {}
-        shaped_assignment: Dict[str, List[QosRule]] = {}
+        shaped_by_rule: dict[str, list[FlowRecord]] = {}
+        shaped_assignment: dict[str, list[QosRule]] = {}
 
-        def stats_for(rule: QosRule) -> Dict[str, float]:
+        def stats_for(rule: QosRule) -> dict[str, float]:
             return result.rule_stats.setdefault(
                 rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
             )
@@ -667,7 +668,7 @@ class PortQosPolicy:
 
     def _apply_table(self, table: FlowTable, interval: float) -> PortQosResult:
         n = len(table)
-        rule_stats: Dict[str, Dict[str, float]] = {}
+        rule_stats: dict[str, dict[str, float]] = {}
         if not self._sorted_rules or n == 0:
             result = PortQosResult(
                 forwarded_table=table,
@@ -697,9 +698,9 @@ class PortQosPolicy:
             row_actions[matched] = self.action_codes()[assigned[matched]]
         forward_mask = row_actions == _FORWARD_CODE
         drop_mask = row_actions == _DROP_CODE
-        shape_groups: Dict[str, List[int]] = {}
+        shape_groups: dict[str, list[int]] = {}
 
-        def stats_for(rule: QosRule) -> Dict[str, float]:
+        def stats_for(rule: QosRule) -> dict[str, float]:
             return rule_stats.setdefault(
                 rule.rule_id, {"matched": 0.0, "dropped": 0.0, "shaped": 0.0}
             )
@@ -717,9 +718,13 @@ class PortQosPolicy:
                 shape_groups.setdefault(rule.rule_id, []).append(index)
 
         rows_by_rank = _shape_rows_by_rank(assigned, row_actions)
-        shaped_tables: List[FlowTable] = []
-        shaped_passed = 0.0
-        shaped_dropped = 0.0
+        shaped_tables: list[FlowTable] = []
+        # Collected per-group and reduced once after the loop: a single
+        # left-to-right sum() is bit-for-bit the running += it replaces,
+        # and keeps the accumulation order explicit (see RPL006 in
+        # docs/STATIC_ANALYSIS.md).
+        passed_terms: list[float] = []
+        dropped_terms: list[float] = []
         for key, rule_indices in shape_groups.items():
             group_rows = _group_rows(rows_by_rank, rule_indices)
             offered_bits = float(bits[group_rows].sum())
@@ -738,9 +743,11 @@ class PortQosPolicy:
                 stats = stats_for(self._sorted_rules[index])
                 stats["matched"] += rule_bits
                 stats["shaped"] += rule_bits
-            shaped_passed += passed_bits
-            shaped_dropped += dropped_bits
+            passed_terms.append(passed_bits)
+            dropped_terms.append(dropped_bits)
 
+        shaped_passed = float(sum(passed_terms))
+        shaped_dropped = float(sum(dropped_terms))
         result = PortQosResult(
             forwarded_table=table.select(forward_mask),
             dropped_table=table.select(drop_mask),

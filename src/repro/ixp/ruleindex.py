@@ -41,17 +41,22 @@ caches one per rule-set version (the counter bumped by ``install`` /
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..traffic.flowtable import FlowTable
 
+if TYPE_CHECKING:
+    from ..bgp.prefix import Prefix
+    from .qos import FlowMatch
+
 #: Packing order and bit widths of the exact-match key fields.  A group's
 #: key concatenates the fields its signature sets, in this order; the sum
 #: of the set widths must fit the 64-bit key (checked per signature).
-EXACT_FIELD_WIDTHS: Tuple[Tuple[str, int], ...] = (
+EXACT_FIELD_WIDTHS: tuple[tuple[str, int], ...] = (
     ("dst_ip", 32),
     ("src_ip", 32),
     ("protocol", 8),
@@ -82,8 +87,8 @@ class MatchSignature:
     dst_port: bool = False
 
     @classmethod
-    def of(cls, match) -> "MatchSignature":
-        def prefix_kind(prefix) -> str:
+    def of(cls, match: "FlowMatch") -> "MatchSignature":
+        def prefix_kind(prefix: "Optional[Prefix]") -> str:
             if prefix is None:
                 return _NONE
             if prefix.version == 4 and prefix.is_host_route:
@@ -101,7 +106,7 @@ class MatchSignature:
 
     # ------------------------------------------------------------------
     @property
-    def exact_fields(self) -> Tuple[str, ...]:
+    def exact_fields(self) -> tuple[str, ...]:
         """The packed key fields, in :data:`EXACT_FIELD_WIDTHS` order."""
         present = {
             "dst_ip": self.dst == _HOST,
@@ -132,7 +137,7 @@ class MatchSignature:
         return bool(fields) and self.key_bits <= 64
 
 
-def _rule_key(match, fields: Tuple[str, ...]) -> int:
+def _rule_key(match: "FlowMatch", fields: tuple[str, ...]) -> int:
     """Pack one rule's exact criteria into the group's integer key."""
     widths = dict(EXACT_FIELD_WIDTHS)
     key = 0
@@ -154,7 +159,7 @@ class ExactGroup:
 
     __slots__ = ("fields", "keys", "ranks", "rule_count")
 
-    def __init__(self, fields: Tuple[str, ...], entries: List[Tuple[int, int]]) -> None:
+    def __init__(self, fields: tuple[str, ...], entries: list[tuple[int, int]]) -> None:
         self.fields = fields
         self.rule_count = len(entries)
         keys = np.fromiter((key for key, _ in entries), dtype=np.uint64, count=len(entries))
@@ -172,7 +177,7 @@ class ExactGroup:
         self.ranks = ranks
 
     # ------------------------------------------------------------------
-    def flow_keys(self, table: FlowTable) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    def flow_keys(self, table: FlowTable) -> tuple[np.ndarray, Optional[np.ndarray]]:
         """Pack the group's key fields out of a flow table.
 
         Returns ``(keys, valid)`` where ``valid`` flags rows whose field
@@ -221,8 +226,8 @@ class RuleMatchIndex:
 
     def __init__(self, rules: Sequence) -> None:
         self._rules = list(rules)
-        exact_entries: Dict[Tuple[str, ...], List[Tuple[int, int]]] = {}
-        fallback: Dict[MatchSignature, List[Tuple[int, object]]] = {}
+        exact_entries: dict[tuple[str, ...], list[tuple[int, int]]] = {}
+        fallback: dict[MatchSignature, list[tuple[int, object]]] = {}
         for rank, rule in enumerate(self._rules):
             signature = MatchSignature.of(rule.match)
             if signature.is_exact:
@@ -260,7 +265,7 @@ class RuleMatchIndex:
     def fallback_group_count(self) -> int:
         return len(self._fallback_groups)
 
-    def describe(self) -> Dict[str, int]:
+    def describe(self) -> dict[str, int]:
         """Compact stats of the compiled shape (stable across engines)."""
         return {
             "rules": self.rule_count,

@@ -49,8 +49,9 @@ from __future__ import annotations
 import asyncio
 import math
 from collections import deque
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -76,7 +77,7 @@ class ChangeRequest:
 
     member_asn: int
     op: str
-    rules: Tuple[QosRule, ...] = ()
+    rules: tuple[QosRule, ...] = ()
     rule_id: str = ""
     #: Virtual time the request reaches the service (seconds).
     arrival_time: float = 0.0
@@ -128,7 +129,7 @@ class ServiceResponse:
     #: ``"budget"`` | ``"backpressure"`` | ``"unknown-member"`` |
     #: ``"tcam-exhausted"`` | ``"shutdown"`` | ``""``.
     reason: str = ""
-    telemetry: Optional[Dict] = None
+    telemetry: Optional[dict] = None
 
     @property
     def accepted(self) -> bool:
@@ -150,11 +151,11 @@ class AppliedChange:
 
     member_asn: int
     op: str  # "install_many" | "remove" | "clear"
-    rules: Tuple[QosRule, ...] = ()
+    rules: tuple[QosRule, ...] = ()
     rule_id: str = ""
     applied_at: float = 0.0
     horizon: float = math.inf
-    request_ids: Tuple[int, ...] = ()
+    request_ids: tuple[int, ...] = ()
     #: True when the batch hit the TCAM limit mid-apply; a replay must
     #: attempt the same ops and swallow the same error.
     tcam_exhausted: bool = False
@@ -181,7 +182,7 @@ class ServiceStats:
     telemetry_served: int = 0
     max_queue_depth_seen: int = 0
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> dict[str, int]:
         return {
             name: getattr(self, name)
             for name in (
@@ -217,7 +218,7 @@ class _RouterLane:
 
     def __init__(self, router: EdgeRouter) -> None:
         self.router = router
-        self.queue: Deque[_Pending] = deque()
+        self.queue: deque[_Pending] = deque()
         #: Configuration operations currently queued (backpressure unit).
         self.pending_ops = 0
         #: Virtual time the router's config CPU becomes free.
@@ -297,15 +298,15 @@ class ControlPlaneService:
         if self.member_update_rate <= 0:
             raise ValueError("member_update_rate must be positive")
         self.window_allowance = self.member_update_rate * budget_window
-        self._lanes: Dict[str, _RouterLane] = {
+        self._lanes: dict[str, _RouterLane] = {
             router.name: _RouterLane(router) for router in fabric.edge_routers()
         }
         #: ``(member_asn, window_index) -> operations spent``.
-        self._budget_used: Dict[Tuple[int, int], int] = {}
+        self._budget_used: dict[tuple[int, int], int] = {}
         self._next_request_id = 1
-        self.request_log: List[AppliedChange] = []
+        self.request_log: list[AppliedChange] = []
         #: Propagation latency of every applied request (virtual seconds).
-        self.latencies: List[float] = []
+        self.latencies: list[float] = []
         self.stats = ServiceStats()
         self._started = False
         self._closed = False
@@ -432,7 +433,7 @@ class ControlPlaneService:
     # ------------------------------------------------------------------
     def drain_to(
         self, horizon: Optional[float]
-    ) -> List[Tuple[ChangeRequest, ServiceResponse]]:
+    ) -> list[tuple[ChangeRequest, ServiceResponse]]:
         """Service every lane's queue up to ``horizon`` (``None`` = all).
 
         Each configuration operation occupies its router's virtual CPU
@@ -442,17 +443,17 @@ class ControlPlaneService:
         everything behind it).  Returns the ``(request, response)``
         resolutions in lane order.
         """
-        resolved: List[Tuple[ChangeRequest, ServiceResponse]] = []
+        resolved: list[tuple[ChangeRequest, ServiceResponse]] = []
         for name in sorted(self._lanes):
             resolved.extend(self._drain_lane(self._lanes[name], horizon))
         return resolved
 
     def _drain_lane(
         self, lane: _RouterLane, horizon: Optional[float]
-    ) -> List[Tuple[ChangeRequest, ServiceResponse]]:
-        resolved: List[Tuple[ChangeRequest, ServiceResponse]] = []
+    ) -> list[tuple[ChangeRequest, ServiceResponse]]:
+        resolved: list[tuple[ChangeRequest, ServiceResponse]] = []
         # member_asn -> install requests awaiting one coalesced flush.
-        buffers: Dict[int, List[_Pending]] = {}
+        buffers: dict[int, list[_Pending]] = {}
 
         def flush(member_asn: int) -> None:
             batch = buffers.pop(member_asn, None)
@@ -500,9 +501,9 @@ class ControlPlaneService:
         self,
         lane: _RouterLane,
         member_asn: int,
-        batch: List[_Pending],
+        batch: list[_Pending],
         horizon: Optional[float],
-        resolved: List[Tuple[ChangeRequest, ServiceResponse]],
+        resolved: list[tuple[ChangeRequest, ServiceResponse]],
     ) -> None:
         rules = tuple(
             rule for pending in batch for rule in pending.request.rules
@@ -532,12 +533,12 @@ class ControlPlaneService:
     def _log_and_resolve(
         self,
         lane: _RouterLane,
-        batch: List[_Pending],
+        batch: list[_Pending],
         op: str,
         horizon: Optional[float],
-        resolved: List[Tuple[ChangeRequest, ServiceResponse]],
+        resolved: list[tuple[ChangeRequest, ServiceResponse]],
         *,
-        rules: Tuple[QosRule, ...] = (),
+        rules: tuple[QosRule, ...] = (),
         rule_id: str = "",
         tcam_exhausted: bool = False,
     ) -> None:
@@ -584,13 +585,13 @@ class ControlPlaneService:
             if pending.future is not None and not pending.future.done():
                 pending.future.set_result(response)
 
-    def close(self) -> List[Tuple[ChangeRequest, ServiceResponse]]:
+    def close(self) -> list[tuple[ChangeRequest, ServiceResponse]]:
         """Reject everything still queued (service shutdown).
 
         Returns the shutdown rejections in lane order; async mode also
         resolves their futures.
         """
-        resolved: List[Tuple[ChangeRequest, ServiceResponse]] = []
+        resolved: list[tuple[ChangeRequest, ServiceResponse]] = []
         for name in sorted(self._lanes):
             lane = self._lanes[name]
             while lane.queue:
@@ -607,7 +608,7 @@ class ControlPlaneService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def sorted_log(self) -> List[AppliedChange]:
+    def sorted_log(self) -> list[AppliedChange]:
         """The request log in canonical replay order.
 
         Async workers append lane-interleaved, the scripted core
@@ -626,7 +627,7 @@ class ControlPlaneService:
 
     def latency_percentiles(
         self, percentiles: Sequence[float] = (50.0, 90.0, 99.0)
-    ) -> Dict[str, float]:
+    ) -> dict[str, float]:
         """Propagation-latency percentiles over every applied request."""
         if not self.latencies:
             return {f"p{p:g}": 0.0 for p in percentiles} | {"max": 0.0}
@@ -711,7 +712,7 @@ class ControlPlaneService:
         self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()
 
 

@@ -19,8 +19,9 @@ reduce losslessly into the platform-level report —
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .fabric import SwitchingFabric
@@ -41,12 +42,12 @@ class ShardSpec:
 
     index: int
     #: PoP labels this shard owns, ascending by numeric index.
-    pops: Tuple[str, ...]
+    pops: tuple[str, ...]
     #: Member ASNs connected in those PoPs, ascending.
-    member_asns: Tuple[int, ...]
+    member_asns: tuple[int, ...]
 
     @property
-    def pop_indices(self) -> Tuple[int, ...]:
+    def pop_indices(self) -> tuple[int, ...]:
         """Numeric PoP indices (what ``build_multi_pop_fabric`` consumes)."""
         return tuple(pop_index(name) for name in self.pops)
 
@@ -65,7 +66,7 @@ class ShardPlanner:
 
     def __init__(self, units: Mapping[str, Sequence[int]]) -> None:
         #: pop label -> ascending member ASNs (empty PoPs allowed).
-        self._units: "OrderedDict[str, Tuple[int, ...]]" = OrderedDict()
+        self._units: "OrderedDict[str, tuple[int, ...]]" = OrderedDict()
         for pop in sorted(units, key=pop_index):
             self._units[pop] = tuple(sorted(units[pop]))
 
@@ -75,7 +76,7 @@ class ShardPlanner:
     @classmethod
     def for_fabric(cls, fabric: "SwitchingFabric") -> "ShardPlanner":
         """Plan from a live fabric's actual router placement."""
-        units: Dict[str, List[int]] = {
+        units: dict[str, list[int]] = {
             router.pop: [] for router in fabric.edge_routers()
         }
         for member in fabric.members():
@@ -91,7 +92,7 @@ class ShardPlanner:
         ``connect_member`` always places a member in its declared PoP and
         this plan equals :meth:`for_fabric` of the built platform.
         """
-        units: Dict[str, List[int]] = {
+        units: dict[str, list[int]] = {
             f"pop-{index}": [] for index in range(1, pop_count + 1)
         }
         for member in members:
@@ -114,7 +115,7 @@ class ShardPlanner:
     def member_count(self) -> int:
         return sum(len(asns) for asns in self._units.values())
 
-    def plan(self, shard_count: int | None = None) -> List[ShardSpec]:
+    def plan(self, shard_count: int | None = None) -> list[ShardSpec]:
         """Pack the non-empty PoPs into at most ``shard_count`` shards.
 
         Defaults to one shard per non-empty PoP.  Fewer shards than PoPs
@@ -137,7 +138,7 @@ class ShardPlanner:
         ordered = sorted(
             occupied, key=lambda unit: (-len(unit[1]), pop_index(unit[0]))
         )
-        assigned: List[List[Tuple[str, Tuple[int, ...]]]] = [[] for _ in range(bins)]
+        assigned: list[list[tuple[str, tuple[int, ...]]]] = [[] for _ in range(bins)]
         loads = [0] * bins
         for pop, asns in ordered:
             target = min(range(bins), key=lambda b: (loads[b], b))
@@ -165,7 +166,7 @@ def shard_for_member(plan: Sequence[ShardSpec], member_asn: int) -> ShardSpec:
     raise KeyError(f"AS{member_asn} is in no shard of the plan")
 
 
-def merge_interval_reports(reports: Sequence[Mapping]) -> Dict:
+def merge_interval_reports(reports: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
     """Reduce per-shard ``FabricIntervalReport.to_dict()`` payloads.
 
     Shards partition the member set, so the per-member sections are
@@ -178,7 +179,7 @@ def merge_interval_reports(reports: Sequence[Mapping]) -> Dict:
     if not reports:
         raise ValueError("need at least one shard report to merge")
     first = reports[0]
-    merged: Dict = {
+    merged: dict[str, Any] = {
         "interval_start": first["interval_start"],
         "interval": first["interval"],
         "offered_bits": 0.0,
@@ -186,7 +187,7 @@ def merge_interval_reports(reports: Sequence[Mapping]) -> Dict:
         "filtered_bits": 0.0,
         "congestion_dropped_bits": 0.0,
     }
-    members: Dict[str, Mapping] = {}
+    members: dict[str, Mapping[str, Any]] = {}
     for report in reports:
         if (
             report["interval_start"] != merged["interval_start"]

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict
 
 
 class TcamStatus(Enum):
@@ -49,8 +48,8 @@ class TcamModel:
     mac_filter_capacity: int
     #: Chassis-wide capacity of L3–L4 filter criteria for QoS policies.
     l3l4_criteria_capacity: int
-    _mac_used: Dict[int, int] = field(default_factory=dict)
-    _l3l4_used: Dict[int, int] = field(default_factory=dict)
+    _mac_used: dict[int, int] = field(default_factory=dict)
+    _l3l4_used: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.mac_filter_capacity <= 0 or self.l3l4_criteria_capacity <= 0:

@@ -18,8 +18,9 @@ deterministic per seed.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -138,7 +139,7 @@ def make_member_population(
     port_mix: Optional[PortSpeedMix] = None,
     honors_rtbh_fraction: float = 0.30,
     seed: Optional[int] = None,
-) -> List[IxpMember]:
+) -> list[IxpMember]:
     """Draw a seeded member population spread over the PoPs.
 
     Port capacities come from ``port_mix`` (DE-CIX-class by default), PoP

@@ -1,0 +1,109 @@
+"""CLI for repro-lint: ``python -m repro.lint [--json] [--baseline write] [paths…]``.
+
+Exit codes: 0 — clean (every finding baselined, no stale entries);
+1 — new findings and/or stale baseline entries; 2 — unparseable files
+or usage errors.  The default run loads ``lint-baseline.json`` from the
+scan root, reports only findings *not* in it, and fails on baseline
+entries that no longer match anything (the baseline may only shrink).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import (
+    BASELINE_NAME,
+    DEFAULT_ROOTS,
+    format_json,
+    format_text,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .rules import default_rules
+
+
+def _find_root(start: Path) -> Path:
+    """The repo root: nearest ancestor with a pyproject.toml."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based checks of the reproduction's correctness contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {', '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--baseline",
+        choices=("apply", "write", "ignore"),
+        default="apply",
+        help=(
+            "apply (default): filter findings through the baseline and fail "
+            "on stale entries; write: rewrite the baseline from the current "
+            "findings; ignore: report every finding, baseline untouched"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-file",
+        type=Path,
+        default=None,
+        help=f"baseline path (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root for relative paths (default: nearest pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.paths) if rule.paths else "all scanned files"
+            print(f"{rule.rule_id}  {rule.title}  [{scope}]")
+        return 0
+
+    root = (args.root or _find_root(Path.cwd())).resolve()
+    paths = (
+        [Path(p) if Path(p).is_absolute() else root / p for p in args.paths]
+        if args.paths
+        else [root / rel for rel in DEFAULT_ROOTS]
+    )
+    baseline_file = args.baseline_file or root / BASELINE_NAME
+
+    entries = (
+        load_baseline(baseline_file) if args.baseline == "apply" else []
+    )
+    report = run_lint(paths, rules, root, baseline_entries=entries)
+
+    if args.baseline == "write":
+        write_baseline(report.findings, baseline_file)
+        print(
+            f"wrote {baseline_file} with {len(report.findings)} finding(s) "
+            f"from {report.checked_files} files"
+        )
+        return 0 if not report.errors else 2
+
+    print(format_json(report) if args.json else format_text(report))
+    if report.errors:
+        return 2
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

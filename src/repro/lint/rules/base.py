@@ -1,0 +1,148 @@
+"""Shared infrastructure for repro-lint rules.
+
+Every rule is a small class: a ``rule_id``, a one-line ``title``, a
+``paths`` scope (fnmatch patterns over repo-relative POSIX paths; empty
+means "everywhere the engine scans"), and a ``check`` generator over a
+:class:`~repro.lint.engine.ParsedModule`.  New contracts plug in by
+appending to :func:`repro.lint.rules.default_rules` — the engine itself
+never changes.
+
+The helpers here answer the two questions almost every rule asks:
+
+- :class:`ImportMap` — "what fully-qualified name does this expression
+  refer to?", resolved through the module's import statements, so
+  ``np.random.default_rng`` and ``numpy.random.default_rng`` and
+  ``from numpy.random import default_rng`` all normalise to the same
+  dotted string;
+- :func:`dotted_name` — the literal attribute chain of an expression
+  (``self._rules.append`` → ``"self._rules.append"``) without import
+  resolution, for matching on local naming conventions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from fnmatch import fnmatch
+
+from ..engine import Finding, ParsedModule
+
+
+class LintRule:
+    """Base class: subclasses set the metadata and implement ``check``."""
+
+    rule_id: str = "RPL000"
+    title: str = ""
+    #: fnmatch patterns over repo-relative paths; empty = all scanned files.
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str) -> bool:
+        if not self.paths:
+            return True
+        return any(fnmatch_path(rel_path, pattern) for pattern in self.paths)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def fnmatch_path(rel_path: str, pattern: str) -> bool:
+    """fnmatch where a trailing ``/`` pattern means "anything below"."""
+    if pattern.endswith("/"):
+        return rel_path.startswith(pattern)
+    return fnmatch(rel_path, pattern) or rel_path == pattern
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The literal dotted chain of Names/Attributes, or ``None``.
+
+    ``a.b.c`` → ``"a.b.c"``; anything containing calls, subscripts or
+    other expressions resolves to ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolve local names to fully-qualified module paths.
+
+    Built once per module from its ``import`` statements::
+
+        import numpy as np            →  np → numpy
+        import multiprocessing.shared_memory
+                                      →  multiprocessing → multiprocessing
+        from numpy import random      →  random → numpy.random
+        from random import randint    →  randint → random.randint
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._names[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``.
+                        head = alias.name.split(".", 1)[0]
+                        self._names[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                base = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of an expression, if import-rooted."""
+        literal = dotted_name(node)
+        if literal is None:
+            return None
+        head, _, rest = literal.partition(".")
+        root = self._names.get(head)
+        if root is None:
+            return None
+        return f"{root}.{rest}" if rest else root
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> str | None:
+    """Resolved dotted name of a call's target (or its literal chain)."""
+    resolved = imports.resolve(node.func)
+    if resolved is not None:
+        return resolved
+    return dotted_name(node.func)
+
+
+def is_self_attribute(node: ast.AST, attrs: set[str]) -> bool:
+    """True for ``self.<attr>`` with ``attr`` in ``attrs``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in attrs
+    )
+
+
+def assigned_names(target: ast.AST) -> Iterator[ast.Name]:
+    """Plain-Name targets of an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from assigned_names(element)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))

@@ -1,0 +1,166 @@
+"""RPL003 — shared-memory blocks must have a reachable release path.
+
+A ``multiprocessing.shared_memory`` block outlives the process that
+created it; a leaked block survives until reboot (or until the resource
+tracker tears it down under a consumer that still maps it — the
+worker-exit race ``SharedFlowTable(transfer=True)`` exists to prevent).
+Every creation site must therefore make its release path visible in the
+same scope:
+
+- ``transfer=True`` on the creating call (ownership explicitly moves to
+  another process),
+- a ``with`` block,
+- a ``close()`` / ``unlink()`` / ``release()`` call on the binding in
+  the same function (typically in ``finally`` or an except-reraise),
+- returning/yielding the handle (ownership moves to the caller), or —
+  for ``self.<attr>`` bindings — a release call on that attribute
+  anywhere in the class.
+
+The check is deliberately reachability-shaped, not path-sensitive: it
+asks "does a release path *exist*", which is cheap and catches the real
+failure mode (a creation with no teardown code at all).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Finding, ParsedModule
+from .base import ImportMap, LintRule, call_name, walk_scope
+
+_RELEASE_METHODS = {"close", "unlink", "release", "cleanup", "shutdown"}
+
+
+def _is_creation(node: ast.Call, imports: ImportMap) -> bool:
+    name = call_name(node, imports)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    if last == "SharedMemory":
+        return True
+    return last == "from_table" and "SharedFlowTable" in name
+
+
+def _has_transfer(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "transfer" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _binding(module: ParsedModule, node: ast.Call) -> ast.AST | None:
+    """The assignment target the created handle is bound to, if any."""
+    parent = module.parent(node)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        return parent.targets[0]
+    if isinstance(parent, ast.AnnAssign) and parent.value is node:
+        return parent.target
+    return None
+
+
+def _released_in(scope: ast.AST, name: str) -> bool:
+    """True if ``name.close()``-style calls appear anywhere in ``scope``."""
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _attr_released_in_class(cls: ast.ClassDef, attr: str) -> bool:
+    """True if ``self.<attr>.close()``-style calls appear in the class."""
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == attr
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _hands_over(value: ast.AST, name: str) -> bool:
+    """True if ``value`` passes the handle *itself* along (not e.g. ``x.name``)."""
+    candidates: list[ast.AST] = [value]
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        candidates.extend(value.elts)
+    elif isinstance(value, ast.Call):
+        candidates.extend(value.args)
+        candidates.extend(keyword.value for keyword in value.keywords)
+    elif isinstance(value, ast.Dict):
+        candidates.extend(v for v in value.values if v is not None)
+    return any(isinstance(c, ast.Name) and c.id == name for c in candidates)
+
+
+def _escapes(scope: ast.AST, name: str) -> bool:
+    """True if ``name`` is returned/yielded or stored onto another object."""
+    for node in walk_scope(scope):
+        if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            if _hands_over(node.value, name):
+                return True
+        if isinstance(node, ast.Assign):
+            if not (isinstance(node.value, ast.Name) and node.value.id == name):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    return True
+    return False
+
+
+class SharedMemoryLifecycleRule(LintRule):
+    rule_id = "RPL003"
+    title = "shared-memory creations need a reachable close/unlink/transfer path"
+    paths = ("src/repro/",)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_creation(node, imports):
+                continue
+            if _has_transfer(node):
+                continue
+            if any(isinstance(a, ast.withitem) for a in module.ancestors(node)[:2]):
+                continue
+            scope: ast.AST | None = module.enclosing_function(node)
+            if scope is None:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "module-level shared-memory creation can never be "
+                    "released deterministically; create inside a scope with "
+                    "a close/unlink path",
+                )
+                continue
+            binding = _binding(module, node)
+            if isinstance(binding, ast.Name):
+                if _released_in(scope, binding.id) or _escapes(scope, binding.id):
+                    continue
+            elif (
+                isinstance(binding, ast.Attribute)
+                and isinstance(binding.value, ast.Name)
+                and binding.value.id == "self"
+            ):
+                cls = module.enclosing_class(node)
+                if cls is not None and _attr_released_in_class(cls, binding.attr):
+                    continue
+            elif binding is None:
+                parent = module.parent(node)
+                if isinstance(parent, (ast.Return, ast.Yield)):
+                    continue
+            yield module.finding(
+                self.rule_id,
+                node,
+                "shared-memory block created without a reachable release "
+                "path: add close()/unlink() (ideally in `finally`), pass "
+                "transfer=True, or hand the handle to the caller",
+            )

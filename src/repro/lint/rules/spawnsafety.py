@@ -1,0 +1,114 @@
+"""RPL005 — only module-level callables may cross the spawn boundary.
+
+Every pool in the repo pins the ``spawn`` start method (see
+``experiments/parallel.spawn_context``): workers import a fresh
+interpreter and receive their work function *by pickle reference*.
+Lambdas, closures and bound methods don't pickle by reference — they
+either fail immediately or, worse, drag the enclosing object graph
+(fabric state, RNGs, shared handles) through pickle into the worker,
+silently breaking the "no inherited state" guarantee the serial parity
+oracle depends on.  This rule flags lambdas, functions defined in the
+submitting scope, and ``self.<method>`` references passed to
+``submit``/``map`` on process-pool objects (``ProcessPoolExecutor``,
+``ShardWorkerPool``, or any receiver whose name mentions
+pool/executor).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Finding, ParsedModule
+from .base import ImportMap, LintRule, assigned_names, call_name, dotted_name, walk_scope
+
+_POOL_TYPES = {"ProcessPoolExecutor", "ShardWorkerPool"}
+_SUBMIT_METHODS = {"submit", "map"}
+
+
+def _pool_locals(scope: ast.AST, imports: ImportMap) -> set[str]:
+    """Names bound to process-pool constructions within ``scope``."""
+    pools: set[str] = set()
+    for node in walk_scope(scope):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        name = call_name(node.value, imports)
+        if name is not None and name.rsplit(".", 1)[-1] in _POOL_TYPES:
+            for target in node.targets:
+                for bound in assigned_names(target):
+                    pools.add(bound.id)
+    return pools
+
+
+def _local_functions(scope: ast.AST) -> set[str]:
+    """Functions *defined inside* ``scope`` (closures under spawn)."""
+    names: set[str] = set()
+    for node in walk_scope(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+def _is_pool_receiver(
+    receiver: ast.AST, pools: set[str], imports: ImportMap
+) -> bool:
+    if isinstance(receiver, ast.Name) and receiver.id in pools:
+        return True
+    if isinstance(receiver, ast.Call):
+        name = call_name(receiver, imports)
+        if name is not None and name.rsplit(".", 1)[-1] in _POOL_TYPES:
+            return True
+    literal = dotted_name(receiver)
+    if literal is not None:
+        lowered = literal.lower()
+        return "pool" in lowered or "executor" in lowered
+    return False
+
+
+class SpawnSafetyRule(LintRule):
+    rule_id = "RPL005"
+    title = "process pools only accept module-level callables"
+    paths = ("src/repro/",)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                continue
+            imports = ImportMap(module.tree)
+            pools = _pool_locals(scope, imports)
+            local_functions = _local_functions(scope)
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) or func.attr not in _SUBMIT_METHODS:
+                    continue
+                if not _is_pool_receiver(func.value, pools, imports):
+                    continue
+                for arg in node.args:
+                    problem = self._unsafe(arg, local_functions, scope)
+                    if problem is not None:
+                        yield module.finding(
+                            self.rule_id,
+                            arg,
+                            f"{problem} submitted to a spawn process pool "
+                            "cannot pickle by reference; pass a module-level "
+                            "function instead",
+                        )
+
+    @staticmethod
+    def _unsafe(
+        arg: ast.AST, local_functions: set[str], scope: ast.AST
+    ) -> str | None:
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Name) and arg.id in local_functions:
+            return f"locally-defined function `{arg.id}`"
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+            and not isinstance(scope, ast.Module)
+        ):
+            return f"bound method `self.{arg.attr}`"
+        return None

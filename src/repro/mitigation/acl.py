@@ -19,8 +19,9 @@ the ``apply_records`` compatibility shim.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -88,7 +89,7 @@ class AccessControlList:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: List[AclEntry] = []
+        self._entries: list[AclEntry] = []
 
     def add(self, entry: AclEntry) -> None:
         if len(self._entries) >= self.max_entries:
@@ -103,7 +104,7 @@ class AccessControlList:
         self.add(entry)
         return entry
 
-    def entries(self) -> List[AclEntry]:
+    def entries(self) -> list[AclEntry]:
         return list(self._entries)
 
     def __len__(self) -> int:
@@ -158,7 +159,9 @@ class AclMitigation(MitigationTechnique):
         Dimension.COSTS: Rating.NEUTRAL,
     }
 
-    def __init__(self, acl: Optional[AccessControlList] = None, filters_after_port: bool = True) -> None:
+    def __init__(
+        self, acl: Optional[AccessControlList] = None, filters_after_port: bool = True
+    ) -> None:
         self.acl = acl if acl is not None else AccessControlList()
         self.filters_after_port = filters_after_port
 

@@ -25,8 +25,9 @@ identical outcomes per strategy.
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..traffic.flow import FlowRecord
 from ..traffic.flowtable import (
@@ -110,9 +111,9 @@ class MitigationOutcome:
 
     def __init__(
         self,
-        delivered: Optional[List[FlowRecord]] = None,
-        discarded: Optional[List[FlowRecord]] = None,
-        shaped: Optional[List[FlowRecord]] = None,
+        delivered: Optional[list[FlowRecord]] = None,
+        discarded: Optional[list[FlowRecord]] = None,
+        shaped: Optional[list[FlowRecord]] = None,
         delivered_table: Optional[FlowTable] = None,
         discarded_table: Optional[FlowTable] = None,
         shaped_table: Optional[FlowTable] = None,
@@ -134,19 +135,19 @@ class MitigationOutcome:
     # Record views (lazy when columnar tables are present)
     # ------------------------------------------------------------------
     @property
-    def delivered(self) -> List[FlowRecord]:
+    def delivered(self) -> list[FlowRecord]:
         if self._delivered is None:
             self._delivered = self.delivered_table.to_records()
         return self._delivered
 
     @property
-    def discarded(self) -> List[FlowRecord]:
+    def discarded(self) -> list[FlowRecord]:
         if self._discarded is None:
             self._discarded = self.discarded_table.to_records()
         return self._discarded
 
     @property
-    def shaped(self) -> List[FlowRecord]:
+    def shaped(self) -> list[FlowRecord]:
         if self._shaped is None:
             self._shaped = self.shaped_table.to_records()
         return self._shaped
@@ -207,7 +208,7 @@ class MitigationTechnique(abc.ABC):
     name: str = "abstract"
 
     #: Qualitative ratings for Table 1; subclasses override.
-    ratings: Dict[Dimension, Rating] = {}
+    ratings: dict[Dimension, Rating] = {}
 
     @abc.abstractmethod
     def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
@@ -235,7 +236,7 @@ class MitigationTechnique(abc.ABC):
         """The technique's rating for a dimension (NEUTRAL if unspecified)."""
         return self.ratings.get(dimension, Rating.NEUTRAL)
 
-    def rating_row(self) -> Dict[Dimension, Rating]:
+    def rating_row(self) -> dict[Dimension, Rating]:
         """All ratings, with NEUTRAL filled in for unspecified dimensions."""
         return {dimension: self.rating(dimension) for dimension in Dimension}
 
@@ -245,7 +246,7 @@ class NoMitigation(MitigationTechnique):
     further down the pipeline)."""
 
     name = "none"
-    ratings: Dict[Dimension, Rating] = {}
+    ratings: dict[Dimension, Rating] = {}
 
     def apply_table(self, table: FlowTable, interval: float) -> MitigationOutcome:
         return MitigationOutcome(delivered_table=table)

@@ -26,8 +26,8 @@ same classification verdicts per seed.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence
 
 import numpy as np
 
@@ -83,7 +83,7 @@ class CombinedMitigation(MitigationTechnique):
         """Add another IXP pre-filter (e.g. a signature learnt by the scrubber)."""
         self.prefilter_rules.append(rule)
 
-    def _rules_by_specificity(self) -> List[BlackholingRule]:
+    def _rules_by_specificity(self) -> list[BlackholingRule]:
         """Pre-filter rules, most specific first (stable among ties)."""
         return sorted(
             self.prefilter_rules,
@@ -167,9 +167,9 @@ class CombinedMitigation(MitigationTechnique):
         self, flows: Sequence[FlowRecord], interval: float
     ) -> CombinedOutcome:
         """Per-record compatibility pipeline (parity-tested against the table path)."""
-        prefiltered: List[FlowRecord] = []
-        shaped: List[FlowRecord] = []
-        remaining: List[FlowRecord] = []
+        prefiltered: list[FlowRecord] = []
+        shaped: list[FlowRecord] = []
+        remaining: list[FlowRecord] = []
         for flow in flows:
             rule = self._matching_rule(flow)
             if rule is None:

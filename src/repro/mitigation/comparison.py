@@ -8,14 +8,14 @@ matrix (used by the Table 1 bench and the tests).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from .base import Dimension, MitigationTechnique, Rating
 
 #: The paper's Table 1, transcribed.  Keys are technique names as used by
 #: the corresponding classes; values map dimension → rating.
-PAPER_TABLE_1: Dict[str, Dict[Dimension, Rating]] = {
+PAPER_TABLE_1: dict[str, dict[Dimension, Rating]] = {
     "TSS": {
         Dimension.GRANULARITY: Rating.ADVANTAGE,
         Dimension.SIGNALING_COMPLEXITY: Rating.DISADVANTAGE,
@@ -87,7 +87,7 @@ class ComparisonTable:
     """The assembled comparison matrix."""
 
     techniques: tuple[str, ...]
-    ratings: Dict[str, Dict[Dimension, Rating]]
+    ratings: dict[str, dict[Dimension, Rating]]
 
     def rating(self, technique: str, dimension: Dimension) -> Rating:
         return self.ratings[technique][dimension]
@@ -100,7 +100,7 @@ class ComparisonTable:
             if rating is Rating.ADVANTAGE
         )
 
-    def as_rows(self) -> List[List[str]]:
+    def as_rows(self) -> list[list[str]]:
         """Rows of (dimension, symbol, symbol, ...) for rendering."""
         rows = []
         for dimension in Dimension:

@@ -18,8 +18,9 @@ original per-flow loop as the parity-tested compatibility shim.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Optional
 
 import numpy as np
 
@@ -42,7 +43,7 @@ class InstalledFlowspecRule:
     """A Flowspec rule plus the peers that accepted and installed it."""
 
     rule: FlowspecRule
-    installing_peers: Set[int] = field(default_factory=set)
+    installing_peers: set[int] = field(default_factory=set)
 
 
 class FlowspecService:
@@ -52,7 +53,7 @@ class FlowspecService:
         self,
         acceptance_rate: float = 0.4,
         per_peer_rule_budget: int = 100,
-        peer_acceptance: Optional[Dict[int, bool]] = None,
+        peer_acceptance: Optional[dict[int, bool]] = None,
         seed: int | None = None,
     ) -> None:
         if not 0 <= acceptance_rate <= 1:
@@ -61,10 +62,10 @@ class FlowspecService:
             raise ValueError("per_peer_rule_budget must be positive")
         self.acceptance_rate = acceptance_rate
         self.per_peer_rule_budget = per_peer_rule_budget
-        self._peer_acceptance: Dict[int, bool] = dict(peer_acceptance or {})
-        self._rules_per_peer: Dict[int, int] = {}
+        self._peer_acceptance: dict[int, bool] = dict(peer_acceptance or {})
+        self._rules_per_peer: dict[int, int] = {}
         self._rng = make_rng(seed)
-        self._installed: List[InstalledFlowspecRule] = []
+        self._installed: list[InstalledFlowspecRule] = []
 
     # ------------------------------------------------------------------
     def peer_accepts(self, peer_asn: int) -> bool:
@@ -77,7 +78,7 @@ class FlowspecService:
 
     def announce_rule(self, rule: FlowspecRule, peer_asns: Sequence[int]) -> InstalledFlowspecRule:
         """Announce a rule to the peers; record who installs it."""
-        installing: Set[int] = set()
+        installing: set[int] = set()
         for peer in peer_asns:
             if not self.peer_accepts(peer):
                 continue
@@ -90,7 +91,7 @@ class FlowspecService:
         self._installed.append(installed)
         return installed
 
-    def installed_rules(self) -> List[InstalledFlowspecRule]:
+    def installed_rules(self) -> list[InstalledFlowspecRule]:
         return list(self._installed)
 
     def rules_installed_at(self, peer_asn: int) -> int:
@@ -137,7 +138,7 @@ class FlowspecMitigation(MitigationTechnique):
         n = len(table)
         unhandled = np.ones(n, dtype=bool)
         discard = np.zeros(n, dtype=bool)
-        shaped_groups: List[FlowTable] = []
+        shaped_groups: list[FlowTable] = []
         for installed in self.service.installed_rules():
             if not unhandled.any():
                 break
@@ -179,8 +180,8 @@ class FlowspecMitigation(MitigationTechnique):
         self, flows: Sequence[FlowRecord], interval: float
     ) -> MitigationOutcome:
         outcome = MitigationOutcome()
-        rate_limited: Dict[int, List[FlowRecord]] = {}
-        rate_limits: Dict[int, float] = {}
+        rate_limited: dict[int, list[FlowRecord]] = {}
+        rate_limits: dict[int, float] = {}
 
         for flow in flows:
             handled = False

@@ -23,8 +23,9 @@ per-record loop survives only as the ``apply_records`` compatibility shim.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Optional
 
 import numpy as np
 
@@ -51,7 +52,7 @@ class BlackholeEvent:
 
     prefix: Prefix
     victim_asn: int
-    honoring_members: Set[int] = field(default_factory=set)
+    honoring_members: set[int] = field(default_factory=set)
     announced_at: float = 0.0
     policy_control: PolicyControl = field(default_factory=PolicyControl)
 
@@ -73,7 +74,7 @@ class RtbhService:
         self,
         ixp_asn: int,
         route_server: Optional[RouteServer] = None,
-        member_compliance: Optional[Dict[int, bool]] = None,
+        member_compliance: Optional[dict[int, bool]] = None,
         compliance_rate: float = 0.30,
         seed: int | None = None,
     ) -> None:
@@ -83,8 +84,8 @@ class RtbhService:
         self.route_server = route_server
         self.compliance_rate = compliance_rate
         self._rng = make_rng(seed)
-        self._member_compliance: Dict[int, bool] = dict(member_compliance or {})
-        self._events: List[BlackholeEvent] = []
+        self._member_compliance: dict[int, bool] = dict(member_compliance or {})
+        self._events: list[BlackholeEvent] = []
 
     # ------------------------------------------------------------------
     # Compliance model
@@ -100,7 +101,7 @@ class RtbhService:
     def set_compliance(self, member_asn: int, honors: bool) -> None:
         self._member_compliance[member_asn] = honors
 
-    def compliance_map(self) -> Dict[int, bool]:
+    def compliance_map(self) -> dict[int, bool]:
         return dict(self._member_compliance)
 
     # ------------------------------------------------------------------
@@ -165,7 +166,7 @@ class RtbhService:
             self.route_server.withdraw(prefix, victim_asn)
         return len(self._events) != before
 
-    def active_events(self) -> List[BlackholeEvent]:
+    def active_events(self) -> list[BlackholeEvent]:
         return list(self._events)
 
     def event_for(self, dst_ip: str) -> Optional[BlackholeEvent]:

@@ -21,8 +21,8 @@ partitions the table with boolean masks.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

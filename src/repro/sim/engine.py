@@ -10,7 +10,8 @@ flow-level data plane advances in fixed time steps between events.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any, Optional
 
 from .clock import SimulationClock
 from .events import Event, EventLog

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 #: Global tie-breaking counter so that events scheduled for the same time
 #: fire in scheduling order (a stable, deterministic ordering).

@@ -9,7 +9,7 @@ distributions used throughout the traffic substrate.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -19,9 +19,9 @@ from .flow import (
 )
 from .flowtable import FlowTable, derived_mac, ints_to_ips, ip_to_int
 from .generator import IxpTraceGenerator, MemberAttackScenarioGenerator, RtbhEvent
-from .sharedtable import SharedFlowTable
 from .ipfix import ExportedRecord, ExportedTable, IpfixCollector, IpfixExporter
 from .packet import ETHERNET_MTU, IpProtocol, PacketTemplate, WellKnownPort
+from .sharedtable import SharedFlowTable
 from .profiles import (
     TrafficProfile,
     attack_profile,

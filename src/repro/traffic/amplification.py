@@ -12,7 +12,6 @@ the synthetic trace generator and the attack models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from .packet import IpProtocol, WellKnownPort
 
@@ -46,7 +45,7 @@ class AmplificationVector:
 
 #: Vectors referenced by the paper (ports 0, 19, 53, 123, 389, 11211) plus a
 #: few additional well-known ones so examples can explore a wider space.
-VECTORS: Dict[str, AmplificationVector] = {
+VECTORS: dict[str, AmplificationVector] = {
     "ntp": AmplificationVector(
         name="ntp",
         source_port=int(WellKnownPort.NTP),

@@ -30,8 +30,8 @@ interface as the existing sources: ``flow_table(interval_start, interval)``
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -142,7 +142,7 @@ class PulseAttack:
         scaled = table.scaled(envelope)
         return scaled.select(scaled.bytes > 0)
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         """Flow records for one observation interval (compatibility view)."""
         return self.flow_table(interval_start, interval).to_records()
 
@@ -212,7 +212,7 @@ class CarpetBombingAttack:
         table.dst_ip = (np.uint32(self._dst_low) + offsets).astype(np.uint32)
         return table
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         """Flow records for one observation interval (compatibility view)."""
         return self.flow_table(interval_start, interval).to_records()
 
@@ -241,7 +241,7 @@ class MultiVectorAttack:
     reflector_count: int = 200
     ramp_seconds: float = 20.0
     seed: int | None = None
-    _attacks: List[AmplificationAttack] = field(init=False, repr=False)
+    _attacks: list[AmplificationAttack] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if isinstance(self.vectors, str):
@@ -290,7 +290,7 @@ class MultiVectorAttack:
     def rate_at(self, time: float) -> float:
         return sum(attack.rate_at(time) for attack in self._attacks)
 
-    def vector_source_ports(self) -> Tuple[int, ...]:
+    def vector_source_ports(self) -> tuple[int, ...]:
         """The abused source port of each vector (signature per vector)."""
         return tuple(attack.vector.source_port for attack in self._attacks)
 
@@ -300,6 +300,6 @@ class MultiVectorAttack:
             [attack.flow_table(interval_start, interval) for attack in self._attacks]
         )
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         """Flow records for one observation interval (compatibility view)."""
         return self.flow_table(interval_start, interval).to_records()

@@ -20,8 +20,8 @@ classic list of :class:`FlowRecord` objects for compatibility.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class AmplificationAttack:
     ramp_seconds: float = 20.0
     seed: int | None = None
     _rng: np.random.Generator = field(init=False, repr=False)
-    _reflectors: List[tuple[str, int]] = field(init=False, repr=False)
+    _reflectors: list[tuple[str, int]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.peak_rate_bps <= 0:
@@ -162,7 +162,7 @@ class AmplificationAttack:
             is_attack=np.ones(n, dtype=bool),
         )
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         """Flow records for one observation interval (compatibility view)."""
         return self.flow_table(interval_start, interval).to_records()
 
@@ -222,7 +222,7 @@ class BooterAttack:
     def flow_table(self, interval_start: float, interval: float) -> FlowTable:
         return self._attack.flow_table(interval_start, interval)
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         return self._attack.flows(interval_start, interval)
 
 
@@ -295,6 +295,6 @@ class BenignTrafficSource:
             is_attack=np.zeros(n, dtype=bool),
         )
 
-    def flows(self, interval_start: float, interval: float) -> List[FlowRecord]:
+    def flows(self, interval_start: float, interval: float) -> list[FlowRecord]:
         """Flow records for one observation interval (compatibility view)."""
         return self.flow_table(interval_start, interval).to_records()

@@ -11,7 +11,6 @@ figures (Fig. 2(c), 3(c), 10(c)) are built from.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from .packet import IpProtocol
 

@@ -19,12 +19,16 @@ measurement study covers).
 from __future__ import annotations
 
 import ipaddress
-from typing import Iterable, Iterator, List, Optional, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from .flow import FiveTuple, FlowRecord
 from .packet import IpProtocol
+
+if TYPE_CHECKING:
+    from ..bgp.prefix import Prefix
 
 #: L4 ports considered "well known" when deciding a flow's service port
 #: (kept in sync with :mod:`repro.traffic.trace`).
@@ -82,7 +86,7 @@ def ip_to_int(address: str) -> int:
     return int(parsed)
 
 
-def ints_to_ips(values: np.ndarray) -> List[str]:
+def ints_to_ips(values: np.ndarray) -> list[str]:
     """Convert an array of 32-bit integers back to dotted-quad strings."""
     return [
         "%d.%d.%d.%d" % ((v >> 24) & 255, (v >> 16) & 255, (v >> 8) & 255, v & 255)
@@ -105,7 +109,7 @@ def derived_mac(asn: int) -> str:
 # rather than in either consumer because ``mitigation`` and ``ixp`` import
 # each other through :mod:`repro.core.rules`, while everything already
 # depends on the flow table.
-def prefix_mask(column: np.ndarray, prefix) -> np.ndarray:
+def prefix_mask(column: np.ndarray, prefix: "Prefix") -> np.ndarray:
     """Rows of an integer IPv4 address ``column`` that fall inside ``prefix``.
 
     Prefix containment over a ``uint32`` address column is two integer
@@ -128,8 +132,8 @@ def member_mask(column: np.ndarray, members: Iterable[int]) -> np.ndarray:
 
 def match_mask(
     table: "FlowTable",
-    dst_prefix=None,
-    src_prefix=None,
+    dst_prefix: "Optional[Prefix]" = None,
+    src_prefix: "Optional[Prefix]" = None,
     protocol: Optional[int] = None,
     src_port: Optional[int] = None,
     dst_port: Optional[int] = None,
@@ -156,7 +160,7 @@ def match_mask(
     return mask
 
 
-def group_sum(keys: np.ndarray, values: np.ndarray) -> dict:
+def group_sum(keys: np.ndarray, values: np.ndarray) -> dict[int, int]:
     """Sum ``values`` grouped by ``keys`` (both 1-D arrays) into a dict.
 
     The shared columnar group-by used by trace aggregations and the
@@ -169,7 +173,9 @@ def group_sum(keys: np.ndarray, values: np.ndarray) -> dict:
     return {int(key): int(total) for key, total in zip(unique.tolist(), sums.tolist())}
 
 
-def iter_window_masks(table: "FlowTable", start: float, end: float, interval: float):
+def iter_window_masks(
+    table: "FlowTable", start: float, end: float, interval: float
+) -> Iterator[tuple[float, np.ndarray]]:
     """Yield ``(window_start, row_mask)`` per observation interval in [start, end).
 
     A row belongs to a window when the flow overlaps it (same half-open
@@ -186,9 +192,9 @@ def iter_window_masks(table: "FlowTable", start: float, end: float, interval: fl
 
 def ingress_peers(
     table: Optional["FlowTable"],
-    records,
+    records: Optional[Sequence[FlowRecord]],
     positive_bytes: bool = False,
-) -> set:
+) -> set[int]:
     """Distinct non-zero ingress member ASNs of a flow population.
 
     ``records is None`` selects the columnar path over ``table``; otherwise
@@ -214,7 +220,9 @@ def ingress_peers(
 
 
 def population_bits(
-    table: Optional["FlowTable"], records, attack: Optional[bool] = None
+    table: Optional["FlowTable"],
+    records: Optional[Sequence[FlowRecord]],
+    attack: Optional[bool] = None,
 ) -> float:
     """Total bits of a flow population, optionally restricted by ground truth.
 
@@ -247,18 +255,18 @@ class FlowTable:
 
     def __init__(
         self,
-        src_ip,
-        dst_ip,
-        protocol,
-        src_port,
-        dst_port,
-        start,
-        duration,
-        bytes,
-        packets,
-        ingress_asn,
-        egress_asn,
-        is_attack,
+        src_ip: np.ndarray,
+        dst_ip: np.ndarray,
+        protocol: np.ndarray,
+        src_port: np.ndarray,
+        dst_port: np.ndarray,
+        start: np.ndarray,
+        duration: np.ndarray,
+        bytes: np.ndarray,
+        packets: np.ndarray,
+        ingress_asn: np.ndarray,
+        egress_asn: np.ndarray,
+        is_attack: np.ndarray,
         src_mac: Optional[np.ndarray] = None,
     ) -> None:
         self.src_ip = np.asarray(src_ip, dtype=np.uint32)
@@ -370,7 +378,7 @@ class FlowTable:
     def total_bits(self) -> int:
         return self.total_bytes * 8
 
-    def derived_macs(self) -> List[str]:
+    def derived_macs(self) -> list[str]:
         """Per-row source MACs under the generator convention."""
         return [derived_mac(asn) for asn in self.ingress_asn.tolist()]
 
@@ -428,7 +436,7 @@ class FlowTable:
     # ------------------------------------------------------------------
     # Record view
     # ------------------------------------------------------------------
-    def to_records(self) -> List[FlowRecord]:
+    def to_records(self) -> list[FlowRecord]:
         """Materialise the compatibility :class:`FlowRecord` view."""
         src_ips = ints_to_ips(self.src_ip)
         dst_ips = ints_to_ips(self.dst_ip)

@@ -24,8 +24,9 @@ Python object churn the original implementation paid.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -102,7 +103,7 @@ class IxpTraceGenerator:
         self._other_profile = other_traffic_profile()
 
     # ------------------------------------------------------------------
-    def default_events(self, count: int = 20) -> List[RtbhEvent]:
+    def default_events(self, count: int = 20) -> list[RtbhEvent]:
         """Create ``count`` randomly placed RTBH events."""
         events = []
         members = list(self.member_asns)
@@ -199,7 +200,7 @@ class IxpTraceGenerator:
         is_attack: bool,
         dst_ip: Optional[str] = None,
         egress_member: Optional[int] = None,
-    ) -> List[FlowRecord]:
+    ) -> list[FlowRecord]:
         """Record-view wrapper around :meth:`_profile_table`."""
         return self._profile_table(
             profile, total_bytes, count, interval_start, is_attack, dst_ip, egress_member
@@ -324,7 +325,7 @@ class MemberAttackScenarioGenerator:
             seed=self.seed,
         )
         intervals = int(self.duration / self.interval)
-        tables: List[FlowTable] = []
+        tables: list[FlowTable] = []
         for i in range(intervals):
             interval_start = i * self.interval
             tables.append(benign.flow_table(interval_start, self.interval))

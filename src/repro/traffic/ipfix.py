@@ -19,8 +19,9 @@ objects just to be archived.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Optional, Union
 
 from ..sim.rng import make_rng
 from .flow import FlowRecord
@@ -50,7 +51,7 @@ class ExportedTable:
     def __len__(self) -> int:
         return len(self.table)
 
-    def records(self) -> List[ExportedRecord]:
+    def records(self) -> list[ExportedRecord]:
         """Materialise the per-record view of the batch."""
         return [
             ExportedRecord(
@@ -80,7 +81,7 @@ class IpfixExporter:
 
     def export(
         self, flows: Union[Iterable[FlowRecord], FlowTable], export_time: float
-    ) -> "List[ExportedRecord] | ExportedTable":
+    ) -> "list[ExportedRecord] | ExportedTable":
         """Sample ``flows`` and return the exported records (or batch)."""
         if isinstance(flows, FlowTable):
             return self.export_table(flows, export_time)
@@ -120,8 +121,8 @@ class IpfixExporter:
 class IpfixCollector:
     """Aggregates exported records (and columnar batches) from all exporters."""
 
-    records: List[ExportedRecord] = field(default_factory=list)
-    tables: List[ExportedTable] = field(default_factory=list)
+    records: list[ExportedRecord] = field(default_factory=list)
+    tables: list[ExportedTable] = field(default_factory=list)
 
     def receive(
         self, records: Union[Iterable[ExportedRecord], ExportedTable]
@@ -155,9 +156,9 @@ class IpfixCollector:
             flows.extend(table.to_records())
         return TrafficTrace(flows)
 
-    def bytes_by_exporter(self) -> Dict[str, int]:
+    def bytes_by_exporter(self) -> dict[str, int]:
         """Total (up-scaled) bytes per exporter."""
-        totals: Dict[str, int] = {}
+        totals: dict[str, int] = {}
         for record in self.records:
             totals[record.exporter_id] = totals.get(record.exporter_id, 0) + record.flow.bytes
         for batch in self.tables:

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -24,7 +23,7 @@ from .packet import IpProtocol, WellKnownPort
 #: A traffic class is (protocol, source port); the destination port is left
 #: free because the paper's analyses are source-port based (reflected
 #: amplification traffic carries the abused service's port as *source*).
-TrafficClass = Tuple[IpProtocol, int]
+TrafficClass = tuple[IpProtocol, int]
 
 
 @dataclass(frozen=True)
@@ -32,7 +31,7 @@ class TrafficProfile:
     """A normalised traffic mix: share of bytes per (protocol, src port)."""
 
     name: str
-    shares: Dict[TrafficClass, float] = field(default_factory=dict)
+    shares: dict[TrafficClass, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.shares:
@@ -44,7 +43,7 @@ class TrafficProfile:
             raise ValueError("traffic shares must be non-negative")
 
     # ------------------------------------------------------------------
-    def normalised(self) -> Dict[TrafficClass, float]:
+    def normalised(self) -> dict[TrafficClass, float]:
         """Shares rescaled to sum to exactly 1.0."""
         total = sum(self.shares.values())
         return {key: value / total for key, value in self.shares.items()}
@@ -67,7 +66,7 @@ class TrafficProfile:
         )
 
     @cached_property
-    def _class_arrays(self) -> Tuple[list, np.ndarray, np.ndarray, np.ndarray]:
+    def _class_arrays(self) -> tuple[list, np.ndarray, np.ndarray, np.ndarray]:
         """``(classes, probabilities, protocol values, port values)`` cache."""
         classes = list(self.shares)
         weights = np.array([self.shares[cls] for cls in classes], dtype=float)
@@ -83,7 +82,7 @@ class TrafficProfile:
 
     def sample_classes(
         self, rng: np.random.Generator, size: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``size`` classes at once; returns (protocol, src port) arrays."""
         classes, probabilities, protocols, ports = self._class_arrays
         indices = rng.choice(len(classes), size=size, p=probabilities)
@@ -97,7 +96,7 @@ class TrafficProfile:
         """
         if not 0 <= other_weight <= 1:
             raise ValueError("other_weight must lie in [0, 1]")
-        merged: Dict[TrafficClass, float] = {}
+        merged: dict[TrafficClass, float] = {}
         for cls, share in self.normalised().items():
             merged[cls] = merged.get(cls, 0.0) + share * (1 - other_weight)
         for cls, share in other.normalised().items():

@@ -28,7 +28,7 @@ generators never set ``src_mac``; record-ingested tables do.)
 from __future__ import annotations
 
 from multiprocessing import resource_tracker, shared_memory
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class SharedFlowTable:
         self,
         shm_name: Optional[str],
         rows: int,
-        layout: Tuple[Tuple[str, str, int], ...],
+        layout: tuple[tuple[str, str, int], ...],
         nbytes: int,
     ) -> None:
         self.shm_name = shm_name
@@ -87,7 +87,7 @@ class SharedFlowTable:
                 "(object arrays hold process-local references)"
             )
         rows = len(table)
-        layout: List[Tuple[str, str, int]] = []
+        layout: list[tuple[str, str, int]] = []
         offset = 0
         for name in COLUMNS:
             column = getattr(table, name)

@@ -22,7 +22,8 @@ the record view on demand.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional, Union
 
 import numpy as np
 
@@ -63,7 +64,7 @@ class TrafficTrace:
     def __init__(self, flows: Union[Iterable[FlowRecord], FlowTable, None] = None) -> None:
         if isinstance(flows, FlowTable):
             self._table: Optional[FlowTable] = flows
-            self._records: Optional[List[FlowRecord]] = None
+            self._records: Optional[list[FlowRecord]] = None
         else:
             self._table = None
             self._records = list(flows) if flows is not None else []
@@ -72,7 +73,7 @@ class TrafficTrace:
     # Representations
     # ------------------------------------------------------------------
     @property
-    def flows(self) -> List[FlowRecord]:
+    def flows(self) -> list[FlowRecord]:
         """The per-record view (materialised from the table if needed)."""
         if self._records is None:
             self._records = self._table.to_records() if self._table is not None else []
@@ -194,16 +195,16 @@ class TrafficTrace:
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
-    def bytes_by_service_port(self) -> Dict[int, int]:
+    def bytes_by_service_port(self) -> dict[int, int]:
         """Total bytes grouped by the flows' service port."""
         if self._table is not None:
             return group_sum(self._table.service_ports(), self._table.bytes)
-        totals: Dict[int, int] = defaultdict(int)
+        totals: dict[int, int] = defaultdict(int)
         for flow in self.flows:
             totals[service_port(flow)] += flow.bytes
         return dict(totals)
 
-    def share_by_service_port(self, top: Optional[int] = None) -> Dict[int, float]:
+    def share_by_service_port(self, top: Optional[int] = None) -> dict[int, float]:
         """Byte share per service port; remaining ports folded into ``-1``.
 
         ``top`` limits the explicit entries to the ``top`` largest ports;
@@ -221,28 +222,28 @@ class TrafficTrace:
         head[-1] = sum(share for _, share in ranked[top:])
         return head
 
-    def bytes_by_protocol(self) -> Dict[IpProtocol, int]:
+    def bytes_by_protocol(self) -> dict[IpProtocol, int]:
         """Total bytes grouped by IP protocol."""
         if self._table is not None:
             grouped = group_sum(self._table.protocol, self._table.bytes)
             return {IpProtocol(value): total for value, total in grouped.items()}
-        totals: Dict[IpProtocol, int] = defaultdict(int)
+        totals: dict[IpProtocol, int] = defaultdict(int)
         for flow in self.flows:
             totals[flow.protocol] += flow.bytes
         return dict(totals)
 
-    def share_by_protocol(self) -> Dict[IpProtocol, float]:
+    def share_by_protocol(self) -> dict[IpProtocol, float]:
         totals = self.bytes_by_protocol()
         grand_total = sum(totals.values())
         if grand_total == 0:
             return {}
         return {proto: value / grand_total for proto, value in totals.items()}
 
-    def bytes_by_source_port(self) -> Dict[int, int]:
+    def bytes_by_source_port(self) -> dict[int, int]:
         """Total bytes grouped by raw source port (used for Fig. 3(a))."""
         if self._table is not None:
             return group_sum(self._table.src_port, self._table.bytes)
-        totals: Dict[int, int] = defaultdict(int)
+        totals: dict[int, int] = defaultdict(int)
         for flow in self.flows:
             totals[flow.src_port] += flow.bytes
         return dict(totals)

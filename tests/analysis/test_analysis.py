@@ -146,7 +146,10 @@ class TestCollateralAnalysis:
     def test_collateral_damage_report(self):
         outcome = MitigationOutcome(
             delivered=[make_flow(is_attack=True, bytes_=100)],
-            discarded=[make_flow(is_attack=False, bytes_=50), make_flow(is_attack=True, bytes_=300)],
+            discarded=[
+                make_flow(is_attack=False, bytes_=50),
+                make_flow(is_attack=True, bytes_=300),
+            ],
         )
         report = collateral_damage(outcome)
         assert report.collateral_damage_fraction == 1.0
@@ -203,7 +206,9 @@ class TestComplianceAnalysis:
         assert ordered == ["All-5", "All-1", "All", "20"]
 
     def test_compliance_from_service(self):
-        service = RtbhService(ixp_asn=1, member_compliance={1: True, 2: False, 3: False}, compliance_rate=0.0)
+        service = RtbhService(
+            ixp_asn=1, member_compliance={1: True, 2: False, 3: False}, compliance_rate=0.0
+        )
         summary = compliance_from_service(service, [1, 2, 3])
         assert summary.compliance_rate == pytest.approx(1 / 3)
         assert summary.non_compliance_rate == pytest.approx(2 / 3)

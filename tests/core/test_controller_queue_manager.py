@@ -65,7 +65,9 @@ def make_change(rule=None, change_type=ChangeType.ADD_RULE, enqueue_time=0.0):
 
 def signal_update(rule, codec=None, path_id=0):
     codec = codec if codec is not None else StellarCommunityCodec(IXP_ASN)
-    attrs = PathAttributes(as_path=(rule.owner_asn,), next_hop="10.0.0.1").with_extended_communities(
+    attrs = PathAttributes(
+        as_path=(rule.owner_asn,), next_hop="10.0.0.1"
+    ).with_extended_communities(
         *codec.encode(rule)
     )
     return UpdateMessage(
@@ -496,7 +498,9 @@ class TestNetworkManagers:
 
     def test_sdn_manager_table_full(self):
         queue = ChangeQueue()
-        manager = SdnNetworkManager(change_queue=queue, switch=OpenFlowSwitchSim(flow_table_capacity=1))
+        manager = SdnNetworkManager(
+            change_queue=queue, switch=OpenFlowSwitchSim(flow_table_capacity=1)
+        )
         queue.enqueue(make_change(make_rule(port=1)))
         queue.enqueue(make_change(make_rule(port=2)))
         records = manager.process_pending(now=1.0)

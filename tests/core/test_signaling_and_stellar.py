@@ -176,7 +176,9 @@ class TestStellarDataPlane:
         stellar_kwargs = dict()
         fabric = SwitchingFabric()
         fabric.add_edge_router(EdgeRouter("er-1", profile=small_ixp_edge_router_profile()))
-        stellar = Stellar(ixp_asn=IXP_ASN, fabric=fabric, change_rate_per_second=1.0, max_burst_size=1)
+        stellar = Stellar(
+            ixp_asn=IXP_ASN, fabric=fabric, change_rate_per_second=1.0, max_burst_size=1
+        )
         stellar.add_member(IxpMember(asn=VICTIM_ASN, prefixes=["100.10.10.0/24"]))
         for port in (123, 53, 11211):
             stellar.request_mitigation(

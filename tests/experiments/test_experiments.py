@@ -120,7 +120,9 @@ class TestFig3aPortDistribution:
 class TestFig3bPolicyControl:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_policy_control_experiment(PolicyControlConfig(announcement_count=4000, member_count=100))
+        return run_policy_control_experiment(
+            PolicyControlConfig(announcement_count=4000, member_count=100)
+        )
 
     def test_all_category_dominates(self, result):
         assert result.share_of("All") > 0.9
@@ -173,7 +175,9 @@ class TestFig10cStellarAttack:
         )
 
     def test_peers_constant_during_shaping(self, result):
-        assert result.peers_during_shaping == pytest.approx(result.peers_before_mitigation, rel=0.15)
+        assert result.peers_during_shaping == pytest.approx(
+            result.peers_before_mitigation, rel=0.15
+        )
 
     def test_drop_phase_near_zero(self, result):
         assert result.dropped_phase_mbps < 0.1 * result.peak_attack_mbps

@@ -28,7 +28,8 @@ Three layers:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 from hypothesis import strategies as st
@@ -83,22 +84,22 @@ tcam_allocation_sequences = st.lists(
 # ----------------------------------------------------------------------
 #: Victim-side host pool; rules and flows both draw from it so generated
 #: intervals straddle rule boundaries (some rows hit, some just miss).
-HOSTS: Tuple[str, ...] = tuple(f"10.1.0.{i}" for i in range(8)) + ("10.2.0.1",)
+HOSTS: tuple[str, ...] = tuple(f"10.1.0.{i}" for i in range(8)) + ("10.2.0.1",)
 
 #: Reflection/attack service ports (paper Table 2 vectors) plus one
 #: ephemeral port, shared by rule matches and flow draws.
-PORT_POOL: Tuple[int, ...] = (19, 53, 123, 11211, 50000)
+PORT_POOL: tuple[int, ...] = (19, 53, 123, 11211, 50000)
 
 #: Ingress (attacking peer) member ASNs; MAC-filter rules key off the
 #: generator's derived-MAC convention for exactly these.
-INGRESS_ASNS: Tuple[int, ...] = (65001, 65002, 65003)
+INGRESS_ASNS: tuple[int, ...] = (65001, 65002, 65003)
 
 #: Broader prefixes covering (parts of) the host pool.
-BROAD_PREFIXES: Tuple[str, ...] = ("10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24")
+BROAD_PREFIXES: tuple[str, ...] = ("10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24")
 
 #: Named rule-id pool — deliberately small so generated sets contain
 #: same-id replacements and same-match precedence ties.
-RULE_IDS: Tuple[str, ...] = tuple(f"rule-{i}" for i in range(12))
+RULE_IDS: tuple[str, ...] = tuple(f"rule-{i}" for i in range(12))
 
 hosts = st.sampled_from(HOSTS)
 pool_ports = st.sampled_from(PORT_POOL)
@@ -273,7 +274,7 @@ def flow_tables(
 # Control-plane churn-request strategies
 # ----------------------------------------------------------------------
 #: Every operation the control-plane service accepts.
-CHURN_OPS: Tuple[str, ...] = (
+CHURN_OPS: tuple[str, ...] = (
     "install",
     "install_many",
     "remove",
@@ -289,7 +290,7 @@ arrival_gaps = st.sampled_from([0.0, 0.05, 0.2, 1.0, 2.5, 12.0])
 
 
 @st.composite
-def churn_requests(draw, member_indices: int = 8) -> Dict:
+def churn_requests(draw, member_indices: int = 8) -> dict:
     """One control-plane request descriptor.
 
     ``{"member_index", "op", "rules", "rule_id", "arrival_gap"}`` —
@@ -301,7 +302,7 @@ def churn_requests(draw, member_indices: int = 8) -> Dict:
     were never (or no longer) installed.
     """
     op = draw(st.sampled_from(CHURN_OPS))
-    descriptor: Dict = {
+    descriptor: dict = {
         "member_index": draw(st.integers(0, member_indices - 1)),
         "op": op,
         "arrival_gap": draw(arrival_gaps),
@@ -332,7 +333,7 @@ UNKNOWN_EGRESS_ASN = 63999
 
 
 @st.composite
-def fabric_specs(draw) -> Dict:
+def fabric_specs(draw) -> dict:
     """A small multi-PoP topology description (build it per engine)."""
     pop_count = draw(st.integers(min_value=1, max_value=2))
     return {
@@ -343,13 +344,13 @@ def fabric_specs(draw) -> Dict:
     }
 
 
-def member_asns_of(spec: Dict) -> List[int]:
+def member_asns_of(spec: dict) -> list[int]:
     """The member ASNs :func:`build_fabric` connects for a spec."""
     return [MEMBER_BASE_ASN + index for index in range(spec["member_count"])]
 
 
 def build_fabric(
-    spec: Dict,
+    spec: dict,
     delivery_engine: str = "batched",
     classification_engine: Optional[str] = None,
 ) -> SwitchingFabric:

@@ -191,7 +191,9 @@ class TestSwitchingFabric:
 
     def test_pop_affinity(self):
         fabric = self._fabric()
-        fabric.add_edge_router(EdgeRouter("er-fra2", profile=small_ixp_edge_router_profile(), pop="pop-2"))
+        fabric.add_edge_router(
+            EdgeRouter("er-fra2", profile=small_ixp_edge_router_profile(), pop="pop-2")
+        )
         fabric.connect_member(IxpMember(asn=65001, pop="pop-2"))
         assert fabric.router_for_member(65001).pop == "pop-2"
 

@@ -128,7 +128,9 @@ class TestPortQosPolicy:
     def test_most_specific_rule_wins(self):
         policy = PortQosPolicy(port_capacity_bps=1e9)
         policy.install(
-            QosRule(match=FlowMatch(protocol=IpProtocol.UDP), action=FilterAction.DROP, rule_id="udp")
+            QosRule(
+                match=FlowMatch(protocol=IpProtocol.UDP), action=FilterAction.DROP, rule_id="udp"
+            )
         )
         policy.install(
             QosRule(
@@ -208,7 +210,9 @@ class TestMemberPort:
 
     def test_rule_management_delegation(self):
         port = MemberPort(member=IxpMember(asn=64500), port_id=1)
-        port.install_rule(QosRule(match=FlowMatch(src_port=1), action=FilterAction.DROP, rule_id="a"))
+        port.install_rule(
+            QosRule(match=FlowMatch(src_port=1), action=FilterAction.DROP, rule_id="a")
+        )
         assert len(port.rules()) == 1
         assert port.remove_rule("a")
 

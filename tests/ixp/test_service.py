@@ -359,7 +359,12 @@ class TestAsyncSyncParity:
         (0, "install", {"rules": (drop_rule("r0"),)}, 0.0),
         (1, "install", {"rules": (drop_rule("r1", dst="10.1.0.2/32"),)}, 0.1),
         (0, "install", {"rules": (shape_rule("s0", dst="10.1.0.3/32"),)}, 0.2),
-        (2, "install_many", {"rules": (drop_rule("r2", dst="10.1.0.4/32"), drop_rule("r3", dst="10.1.0.5/32"))}, 0.3),
+        (
+            2,
+            "install_many",
+            {"rules": (drop_rule("r2", dst="10.1.0.4/32"), drop_rule("r3", dst="10.1.0.5/32"))},
+            0.3,
+        ),
         (0, "remove", {"rule_id": "r0"}, 0.4),
         (3, "clear", {}, 0.5),
         (1, "telemetry", {}, 0.6),

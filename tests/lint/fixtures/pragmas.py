@@ -1,0 +1,28 @@
+"""Pragma fixture: every suppression form, over real RPL001 violations."""
+# repro-lint: disable-file=RPL004
+
+import time
+
+import numpy as np
+
+
+def suppressed_inline():
+    return time.time()  # repro-lint: disable=RPL001
+
+
+def suppressed_comment_above():
+    # repro-lint: disable=RPL001
+    return np.random.default_rng()
+
+
+def suppressed_all():
+    return time.time()  # repro-lint: disable=all
+
+
+def not_suppressed():
+    return time.time()
+
+
+def file_pragma_covers_other_rule(table):
+    for bits in table.bits:  # RPL004, disabled file-wide above
+        return bits

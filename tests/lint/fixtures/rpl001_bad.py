@@ -1,0 +1,16 @@
+"""RPL001 positive fixture: every banned randomness/time source."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw_interval():
+    rng = np.random.default_rng()  # unseeded: OS entropy
+    np.random.seed(7)  # legacy global state
+    started = time.time()  # wall clock
+    stamp = datetime.now()  # wall-clock date
+    jitter = random.randint(0, 3)  # stdlib hidden global RNG
+    return rng, started, stamp, jitter

@@ -1,0 +1,13 @@
+"""RPL001 negative fixture: the sanctioned randomness sources."""
+
+import numpy as np
+
+from repro.sim import rng as simrng
+
+
+def draw_interval(seed):
+    rng = simrng.make_rng(seed)
+    explicit = np.random.default_rng(seed)
+    sequence = np.random.SeedSequence([seed, 1])
+    child = np.random.default_rng(sequence)
+    return rng.normal(size=4), explicit.integers(0, 10), child

@@ -1,0 +1,15 @@
+"""RPL003 positive fixture: shared-memory creations with no release path."""
+
+from multiprocessing import shared_memory
+
+from repro.traffic.sharedtable import SharedFlowTable
+
+
+def leak_block(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm.name  # only the *name* escapes; the handle leaks
+
+
+def leak_handle(table):
+    handle = SharedFlowTable.from_table(table)
+    return handle.nbytes  # no transfer, no close/unlink, handle dropped

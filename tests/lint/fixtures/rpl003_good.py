@@ -1,0 +1,36 @@
+"""RPL003 negative fixture: the sanctioned shared-memory lifecycles."""
+
+from multiprocessing import shared_memory
+
+from repro.traffic.sharedtable import SharedFlowTable
+
+
+def finally_release(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:4])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def transfer_ownership(table):
+    return SharedFlowTable.from_table(table, transfer=True)
+
+
+def hand_to_caller(table):
+    handle = SharedFlowTable.from_table(table)
+    return handle
+
+
+class Holder:
+    def __init__(self):
+        self._shm = None
+
+    def attach(self, name):
+        self._shm = shared_memory.SharedMemory(name=name)
+
+    def close(self):
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None

@@ -1,0 +1,19 @@
+"""RPL005 positive fixture: non-picklable callables into spawn pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Driver:
+    def run(self, items):
+        pool = ProcessPoolExecutor(max_workers=2)
+
+        def chunk(item):  # closure: does not pickle by reference
+            return item + 1
+
+        futures = [pool.submit(lambda item: item, item) for item in items]
+        futures.append(pool.submit(chunk, items[0]))
+        futures.append(pool.submit(self.step, items[0]))  # bound method
+        return futures
+
+    def step(self, item):
+        return item

@@ -1,0 +1,16 @@
+"""RPL005 negative fixture: module-level entry points only."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    return item + 1
+
+
+def run(items, fn):
+    pool = ProcessPoolExecutor(max_workers=2)
+    futures = [pool.submit(work, item) for item in items]
+    # A callable received as a parameter is the caller's contract to keep
+    # module-level (documented in experiments.parallel); not flagged.
+    futures.append(pool.submit(fn, items[0]))
+    return futures

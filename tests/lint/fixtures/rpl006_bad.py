@@ -1,0 +1,15 @@
+"""RPL006 positive fixture: bare float bit accounting inside loops."""
+
+
+def platform_totals(results):
+    delivered_bits = 0.0
+    for result in results:
+        delivered_bits += result.delivered_bits  # running float error
+    return delivered_bits
+
+
+def offered(windows):
+    total = 0.0
+    for window in windows:
+        total += window.offered_bits  # value mentions bits: still a counter
+    return total

@@ -1,0 +1,128 @@
+"""Engine-level tests: pragmas, baseline round-trip, reporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    format_json,
+    format_text,
+    load_baseline,
+    write_baseline,
+)
+
+
+# ----------------------------------------------------------------------
+# Pragma suppression (the fixture holds real violations of two rules)
+# ----------------------------------------------------------------------
+def test_pragmas_suppress_exactly_the_marked_lines(lint_tree, lint_run):
+    root = lint_tree("pragmas.py")
+    report = lint_run(root)
+    # Of the four RPL001 violations, only the unmarked one survives.
+    rpl001 = [f for f in report.new_findings if f.rule == "RPL001"]
+    assert len(rpl001) == 1
+    assert "not_suppressed" in root.joinpath("src").rglob("*.py").__next__().read_text()
+    assert rpl001[0].snippet == "return time.time()"
+    # The file-level pragma kills every RPL004 finding.
+    assert not [f for f in report.new_findings if f.rule == "RPL004"]
+
+
+def test_inline_pragma_forms(lint_tree, lint_run):
+    root = lint_tree("pragmas.py")
+    suppressed_snippets = {
+        "return time.time()  # repro-lint: disable=RPL001",
+        "return np.random.default_rng()",
+        "return time.time()  # repro-lint: disable=all",
+    }
+    report = lint_run(root)
+    surviving = {f.snippet for f in report.new_findings}
+    assert not (surviving & suppressed_snippets)
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(lint_tree, lint_run, tmp_path):
+    root = lint_tree("rpl001_bad.py", "rpl006_bad.py")
+    report = lint_run(root)
+    assert report.new_findings
+    baseline_file = root / "lint-baseline.json"
+    write_baseline(report.findings, baseline_file)
+    entries = load_baseline(baseline_file)
+    # With the baseline applied, every finding is absorbed: CI passes.
+    replay = lint_run(root, baseline_entries=entries)
+    assert replay.new_findings == []
+    assert len(replay.baselined) == len(report.findings)
+    assert replay.stale_entries == []
+    assert replay.ok
+
+
+def test_baseline_matches_by_snippet_not_line(lint_tree, lint_run):
+    root = lint_tree("rpl006_bad.py")
+    report = lint_run(root)
+    entries = [
+        {"rule": f.rule, "path": f.path, "snippet": f.snippet, "count": 1}
+        for f in report.findings
+    ]
+    # Shift the whole file down: line numbers change, fingerprints don't.
+    target = root / "src/repro/ixp/rpl006_bad.py"
+    target.write_text("# a new leading comment\n" + target.read_text())
+    replay = lint_run(root, baseline_entries=entries)
+    assert replay.new_findings == []
+    assert replay.stale_entries == []
+
+
+def test_stale_baseline_entries_fail_the_run(lint_tree, lint_run):
+    root = lint_tree("rpl001_good.py")
+    entries = [
+        {
+            "rule": "RPL001",
+            "path": "src/repro/traffic/rpl001_good.py",
+            "snippet": "gone = time.time()",
+            "count": 2,
+        }
+    ]
+    report = lint_run(root, baseline_entries=entries)
+    assert report.new_findings == []
+    assert len(report.stale_entries) == 1
+    assert report.stale_entries[0]["unmatched"] == 2
+    assert not report.ok
+
+
+def test_baseline_count_bounds_absorption():
+    finding = Finding(
+        path="src/x.py", line=3, col=1, rule="RPL006",
+        message="m", snippet="total_bits += x",
+    )
+    twin = Finding(
+        path="src/x.py", line=9, col=1, rule="RPL006",
+        message="m", snippet="total_bits += x",
+    )
+    entries = [
+        {"rule": "RPL006", "path": "src/x.py", "snippet": "total_bits += x", "count": 1}
+    ]
+    new, baselined, stale = apply_baseline([finding, twin], entries)
+    assert len(baselined) == 1 and len(new) == 1 and stale == []
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == []
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_reporters(lint_tree, lint_run):
+    root = lint_tree("rpl001_bad.py")
+    report = lint_run(root)
+    text = format_text(report)
+    assert "RPL001" in text and "checked 1 files" in text
+    payload = json.loads(format_json(report))
+    assert payload["ok"] is False
+    assert payload["checked_files"] == 1
+    rules = {entry["rule"] for entry in payload["findings"]}
+    assert "RPL001" in rules
+    for entry in payload["findings"]:
+        assert set(entry) == {"rule", "path", "line", "col", "message", "snippet"}

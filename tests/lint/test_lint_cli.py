@@ -1,0 +1,73 @@
+"""CLI smoke tests: ``python -m repro.lint`` end to end over fixtures."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args: str, cwd: Path | None = None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(cwd or REPO_ROOT),
+    )
+
+
+def test_json_on_known_bad_fixture(lint_tree):
+    root = lint_tree("rpl001_bad.py", "rpl002_bad.py")
+    result = run_cli("--json", "--root", str(root), str(root / "src"))
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert {"RPL001", "RPL002"} <= rules
+    assert payload["ok"] is False
+
+
+def test_baseline_write_then_apply_passes(lint_tree):
+    root = lint_tree("rpl006_bad.py")
+    wrote = run_cli("--baseline", "write", "--root", str(root), str(root / "src"))
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    assert (root / "lint-baseline.json").exists()
+    replay = run_cli("--root", str(root), str(root / "src"))
+    assert replay.returncode == 0, replay.stdout + replay.stderr
+    assert "0 finding(s)" in replay.stdout
+    assert "baselined" in replay.stdout
+
+
+def test_stale_baseline_fails_run(lint_tree):
+    root = lint_tree("rpl006_bad.py")
+    run_cli("--baseline", "write", "--root", str(root), str(root / "src"))
+    # Fix the file: the baseline is now stale and must shrink.
+    bad = root / "src/repro/ixp/rpl006_bad.py"
+    bad.write_text("def fixed():\n    return 0\n")
+    replay = run_cli("--root", str(root), str(root / "src"))
+    assert replay.returncode == 1
+    assert "stale entry" in replay.stdout
+
+
+def test_unparseable_file_exits_2(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("")
+    broken = tmp_path / "src" / "repro" / "ixp" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("def broken(:\n")
+    result = run_cli("--root", str(tmp_path), str(tmp_path / "src"))
+    assert result.returncode == 2
+    assert "error" in result.stdout
+
+
+def test_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        assert rule_id in result.stdout

@@ -224,7 +224,9 @@ class TestScrubbing:
 
     def test_removes_attack_traffic_after_activation(self):
         scrubbing = ScrubbingMitigation(
-            ScrubbingCenter(true_positive_rate=1.0, false_positive_rate=0.0, activation_delay_seconds=0.0),
+            ScrubbingCenter(
+                true_positive_rate=1.0, false_positive_rate=0.0, activation_delay_seconds=0.0
+            ),
             active_since=0.0,
             seed=1,
         )

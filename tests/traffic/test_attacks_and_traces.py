@@ -42,12 +42,16 @@ class TestAmplificationCatalogue:
         assert vector_for_port(4444) is None
 
     def test_memcached_has_largest_factor(self):
-        factors = {name: get_vector(name).amplification_factor for name in ("ntp", "dns", "memcached")}
+        factors = {
+            name: get_vector(name).amplification_factor for name in ("ntp", "dns", "memcached")
+        }
         assert factors["memcached"] == max(factors.values())
 
     def test_response_bytes(self):
         vector = get_vector("ntp")
-        assert vector.response_bytes == int(round(vector.request_bytes * vector.amplification_factor))
+        assert vector.response_bytes == int(
+            round(vector.request_bytes * vector.amplification_factor)
+        )
 
     def test_prone_ports_match_paper(self):
         assert AMPLIFICATION_PRONE_PORTS == (0, 123, 389, 11211, 53, 19)
@@ -197,8 +201,12 @@ class TestTrafficTrace:
         return TrafficTrace(
             [
                 make_flow(src_port=11211, bytes_=8000, is_attack=True, start=0),
-                make_flow(src_port=50000, dst_port=443, protocol=IpProtocol.TCP, bytes_=2000, start=0),
-                make_flow(src_port=50001, dst_port=80, protocol=IpProtocol.TCP, bytes_=1000, start=30),
+                make_flow(
+                    src_port=50000, dst_port=443, protocol=IpProtocol.TCP, bytes_=2000, start=0
+                ),
+                make_flow(
+                    src_port=50001, dst_port=80, protocol=IpProtocol.TCP, bytes_=1000, start=30
+                ),
             ]
         )
 
@@ -281,7 +289,9 @@ class TestGenerators:
             seed=2,
         )
         generator.rtbh_events = [
-            RtbhEvent(victim_ip="104.20.1.1", victim_member_asn=65001, start=0, duration=600, rate_bps=5e8)
+            RtbhEvent(
+                victim_ip="104.20.1.1", victim_member_asn=65001, start=0, duration=600, rate_bps=5e8
+            )
         ]
         trace = generator.generate()
         attack = trace.attack_flows()
