@@ -126,3 +126,116 @@ def test_bench_shard_worker_scaling(benchmark):
             f"expected >= {SPEEDUP_FLOOR}x at {last} workers on {cores} cores, "
             f"got {speedup_at_max:.2f}x"
         )
+
+
+def test_bench_columnar_merge_10k_members(benchmark):
+    """Per-interval shard-report reduce: columnar arrays vs member dicts.
+
+    The sharded runner merges one report per shard per interval; with a
+    10k-member platform the dict-based merge walks every member dict on
+    every reduce.  The columnar path concatenates per-shard numpy arrays
+    and sorts once — this bench measures both on identical payloads,
+    checks the bridge parity, and records the win in ``BENCH_shard.json``
+    (merged into the worker-scaling record).
+    """
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.ixp import (
+        columns_to_report_dict,
+        merge_interval_columns,
+        merge_interval_reports,
+    )
+    from repro.ixp.fabric import MEMBER_REPORT_FIELDS
+
+    member_count, shard_count = 10_000, 8
+    per_shard = member_count // shard_count
+    rng = np.random.default_rng(5)
+
+    columnar_payloads = []
+    dict_payloads = []
+    for shard in range(shard_count):
+        asns = np.arange(
+            65000 + shard * per_shard, 65000 + (shard + 1) * per_shard, dtype=np.int64
+        )
+        fields = {
+            name: rng.random(per_shard) * 1e9 for name in MEMBER_REPORT_FIELDS
+        }
+        totals = {
+            "offered_bits": float(fields["forwarded_bits"].sum()),
+            "delivered_bits": float(fields["forwarded_bits"].sum()),
+            "filtered_bits": float(fields["dropped_bits"].sum()),
+            "congestion_dropped_bits": float(fields["congestion_dropped_bits"].sum()),
+        }
+        columnar_payloads.append(
+            {
+                "interval_start": 0.0,
+                "interval": 30.0,
+                "totals": totals,
+                "member_asns": asns,
+                "member_fields": fields,
+                "rule_stats": {},
+            }
+        )
+        dict_payloads.append(
+            {
+                "interval_start": 0.0,
+                "interval": 30.0,
+                **totals,
+                "members": {
+                    str(asn): {
+                        **{name: float(fields[name][row]) for name in MEMBER_REPORT_FIELDS},
+                        "rule_stats": {},
+                    }
+                    for row, asn in enumerate(asns.tolist())
+                },
+            }
+        )
+
+    # Parity first: the columnar reduce bridges to the dict merge exactly.
+    assert columns_to_report_dict(
+        merge_interval_columns(columnar_payloads)
+    ) == merge_interval_reports(dict_payloads)
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    dict_seconds = best_of(lambda: merge_interval_reports(dict_payloads))
+    columnar_seconds = best_of(lambda: merge_interval_columns(columnar_payloads))
+
+    benchmark.pedantic(
+        lambda: merge_interval_columns(columnar_payloads), rounds=1
+    )
+
+    speedup = dict_seconds / columnar_seconds
+    print_table(
+        f"Shard-report merge, {member_count} members / {shard_count} shards",
+        [
+            ("path", "ms / merge", "speedup"),
+            ("dict", f"{dict_seconds * 1e3:.2f}", "1.0x"),
+            ("columnar", f"{columnar_seconds * 1e3:.2f}", f"{speedup:.1f}x"),
+        ],
+    )
+
+    path = Path(os.environ.get("BENCH_OUTPUT_DIR", ".")) / "BENCH_shard.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["columnar_merge_10k_members"] = {
+        "member_count": member_count,
+        "shard_count": shard_count,
+        "dict_merge_seconds": dict_seconds,
+        "columnar_merge_seconds": columnar_seconds,
+        "speedup": speedup,
+    }
+    write_bench_json("shard", payload)
+
+    assert speedup > 1.0, (
+        f"columnar merge should beat the dict merge at {member_count} members, "
+        f"got {speedup:.2f}x"
+    )

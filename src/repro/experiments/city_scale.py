@@ -17,8 +17,8 @@ execute it:
   that shard's members, so no RNG stream ever crosses a shard boundary,
 * the attack, benign source and mitigation rule live entirely in the
   victim's shard,
-* per-interval reports merge in fixed shard order
-  (:func:`~repro.ixp.shard.merge_interval_reports`).
+* per-interval reports cross as columnar payloads and merge in fixed
+  shard order (:func:`~repro.ixp.shard.merge_interval_columns`).
 
 ``execution="serial"`` therefore runs the *identical* shard runtimes
 in-process and produces a bit-for-bit identical result — the parity
@@ -44,13 +44,14 @@ from ..core.rules import BlackholingRule
 from ..ixp.hardware_profiles import HardwareProfile, l_ixp_edge_router_profile
 from ..ixp.member import IxpMember
 from ..ixp.qos import QosRule
-from ..ixp.shard import ShardPlanner, ShardSpec, merge_interval_reports
+from ..ixp.shard import ShardPlanner, ShardSpec, merge_interval_columns
 from ..ixp.topology import build_multi_pop_fabric, make_member_population
 from ..sim.rng import derive_seed
 from ..traffic.amplification import get_vector
 from ..traffic.attacks import BenignTrafficSource, BooterAttack
 from ..traffic.flowtable import FlowTable, group_sum
 from ..traffic.generator import IxpTraceGenerator
+from ..traffic.sharedtable import SharedMemberTable
 from .parallel import EXECUTION_MODES, iter_shard_intervals
 from .results import JsonResultMixin
 from .scenario import DEFAULT_VICTIM_ASN, DEFAULT_VICTIM_IP
@@ -165,9 +166,9 @@ def _router_profile(config: CityScaleConfig) -> HardwareProfile:
     )
 
 
-def _city_members(config: CityScaleConfig) -> tuple[IxpMember, list[IxpMember]]:
-    """The victim plus the seeded member population (pure in ``config``)."""
-    victim = IxpMember(
+def _city_victim(config: CityScaleConfig) -> IxpMember:
+    """The experimental (victim) AS — the one non-generated member."""
+    return IxpMember(
         asn=DEFAULT_VICTIM_ASN,
         name="experimental-as",
         port_capacity_bps=config.victim_port_capacity_bps,
@@ -175,12 +176,16 @@ def _city_members(config: CityScaleConfig) -> tuple[IxpMember, list[IxpMember]]:
         honors_rtbh=True,
         pop="pop-1",
     )
+
+
+def _city_members(config: CityScaleConfig) -> tuple[IxpMember, list[IxpMember]]:
+    """The victim plus the seeded member population (pure in ``config``)."""
     members = make_member_population(
         config.member_count - 1,
         pop_count=config.pop_count,
         seed=config.seed,
     )
-    return victim, members
+    return _city_victim(config), members
 
 
 def _mitigation_events(
@@ -217,10 +222,11 @@ class _ShardRuntime:
         config: CityScaleConfig,
         spec: ShardSpec,
         events: tuple[tuple[float, int, QosRule], ...],
+        member_table: Optional[SharedMemberTable] = None,
     ) -> None:
         self.config = config
         self.spec = spec
-        victim, members = _city_members(config)
+        victim = _city_victim(config)
         self.victim_asn = victim.asn
         self.has_victim = victim.asn in spec.member_asns
         self.fabric = build_multi_pop_fabric(
@@ -234,15 +240,29 @@ class _ShardRuntime:
             retain_reports=False,
             retain_history=False,
         )
-        by_asn = {member.asn: member for member in (victim, *members)}
+        if member_table is not None:
+            # Zero-copy path: the parent packed the generated population
+            # once; this runtime materialises only its own shard's
+            # members (plus ingress/peer ASNs straight off the mapping)
+            # instead of re-deriving all 10k IxpMembers per worker.
+            population_asns = member_table.asn_array()
+            shard_members = member_table.members_for(
+                [asn for asn in spec.member_asns if asn != victim.asn]
+            )
+            by_asn = {member.asn: member for member in shard_members}
+            by_asn[victim.asn] = victim
+            all_asns = [victim.asn, *population_asns.tolist()]
+            peer_asns = population_asns[: config.attack_peer_count].tolist()
+        else:
+            _, members = _city_members(config)
+            by_asn = {member.asn: member for member in (victim, *members)}
+            all_asns = [victim.asn, *(member.asn for member in members)]
+            peer_asns = [member.asn for member in members[: config.attack_peer_count]]
         # Ascending-ASN connect order — the same relative order the full
         # platform would use, so within-PoP load balancing places every
         # member on the same router either way.
         for asn in spec.member_asns:
             self.fabric.connect_member(by_asn[asn])
-
-        all_asns = [victim.asn, *(member.asn for member in members)]
-        peer_asns = [member.asn for member in members[: config.attack_peer_count]]
         self.attack: Optional[BooterAttack] = None
         self.benign: Optional[BenignTrafficSource] = None
         if self.has_victim:
@@ -322,7 +342,7 @@ class _ShardRuntime:
             if utilisation > 1.0:
                 oversubscribed += 1
         payload: dict = {
-            "report": report.to_dict(),
+            "report": report.to_columns(),
             "peak_utilisation": peak_utilisation,
             "oversubscribed": oversubscribed,
             "victim": None,
@@ -344,14 +364,35 @@ def _build_shard_runtime(
     config: CityScaleConfig,
     spec: ShardSpec,
     events: tuple[tuple[float, int, QosRule], ...],
+    member_table: Optional[SharedMemberTable] = None,
 ) -> _ShardRuntime:
     """Module-level runtime factory (pickled by reference under spawn)."""
-    return _ShardRuntime(config, spec, events)
+    return _ShardRuntime(config, spec, events, member_table)
 
 
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
+def _digest_payload(merged: dict) -> dict:
+    """JSON-ready view of a merged columnar interval report.
+
+    Covers every number the merge carries — totals plus each member's
+    accounting and rule stats — so digest equality between two runs still
+    means every per-member value of every interval matched, exactly as
+    with the old dict-shaped payloads.
+    """
+    return {
+        "interval_start": merged["interval_start"],
+        "interval": merged["interval"],
+        "totals": merged["totals"],
+        "member_asns": merged["member_asns"].tolist(),
+        "member_fields": {
+            name: array.tolist() for name, array in merged["member_fields"].items()
+        },
+        "rule_stats": merged["rule_stats"],
+    }
+
+
 def plan_city_shards(config: CityScaleConfig) -> list[ShardSpec]:
     """The scenario's shard plan (a pure function of the config)."""
     victim, members = _city_members(config)
@@ -380,8 +421,18 @@ def run_city_scale_experiment(
     victim, members = _city_members(config)
     plan = plan_city_shards(config)
     events = _mitigation_events(config)
+    # The generated population crosses to the workers once, as a
+    # shared-memory table every shard runtime maps zero-copy; only the
+    # victim (one member) still travels by value inside the config.
+    member_table = SharedMemberTable.from_members(members)
     shard_kwargs = [
-        {"config": config, "spec": spec, "events": events} for spec in plan
+        {
+            "config": config,
+            "spec": spec,
+            "events": events,
+            "member_table": member_table,
+        }
+        for spec in plan
     ]
     step_count = int(config.duration / config.interval + 1e-9)
     times = [index * config.interval for index in range(step_count)]
@@ -394,50 +445,59 @@ def run_city_scale_experiment(
     oversubscribed = 0
     intervals = 0
 
-    for interval_start, payloads in iter_shard_intervals(
-        _build_shard_runtime,
-        shard_kwargs,
-        times,
-        config.interval,
-        execution=config.execution,
-        workers=config.workers,
-        chunk_intervals=config.chunk_intervals,
-    ):
-        merged = merge_interval_reports([payload["report"] for payload in payloads])
-        digest.update(
-            json.dumps(merged, sort_keys=True, separators=(",", ":")).encode("utf-8")
-        )
-        platform_peak_bps = max(
-            platform_peak_bps, merged["offered_bits"] / config.interval
-        )
-        for payload in payloads:
-            peak_utilisation = max(peak_utilisation, payload["peak_utilisation"])
-            oversubscribed += payload["oversubscribed"]
-            flows = payload.get("table")
-            if flows is not None and len(flows):
-                for port, total in group_sum(flows.service_ports(), flows.bytes).items():
-                    service_bytes[port] = service_bytes.get(port, 0) + total
-        victim_payload = next(
-            (
-                payload["victim"]
-                for payload in payloads
-                if payload.get("victim") is not None
-            ),
-            None,
-        )
-        if victim_payload is None:
-            series.record(time=interval_start, delivered_mbps=0.0, peer_count=0)
-        else:
-            record_delivery(
-                series,
-                time=interval_start,
-                interval=config.interval,
-                delivered_bits=victim_payload["delivered_bits"],
-                attack_bits=victim_payload["attack_bits"],
-                peer_count=victim_payload["peer_count"],
-                filtered_bits=merged["filtered_bits"],
+    try:
+        for interval_start, payloads in iter_shard_intervals(
+            _build_shard_runtime,
+            shard_kwargs,
+            times,
+            config.interval,
+            execution=config.execution,
+            workers=config.workers,
+            chunk_intervals=config.chunk_intervals,
+        ):
+            merged = merge_interval_columns(
+                [payload["report"] for payload in payloads]
             )
-        intervals += 1
+            digest.update(
+                json.dumps(
+                    _digest_payload(merged), sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            )
+            platform_peak_bps = max(
+                platform_peak_bps, merged["totals"]["offered_bits"] / config.interval
+            )
+            for payload in payloads:
+                peak_utilisation = max(peak_utilisation, payload["peak_utilisation"])
+                oversubscribed += payload["oversubscribed"]
+                flows = payload.get("table")
+                if flows is not None and len(flows):
+                    for port, total in group_sum(
+                        flows.service_ports(), flows.bytes
+                    ).items():
+                        service_bytes[port] = service_bytes.get(port, 0) + total
+            victim_payload = next(
+                (
+                    payload["victim"]
+                    for payload in payloads
+                    if payload.get("victim") is not None
+                ),
+                None,
+            )
+            if victim_payload is None:
+                series.record(time=interval_start, delivered_mbps=0.0, peer_count=0)
+            else:
+                record_delivery(
+                    series,
+                    time=interval_start,
+                    interval=config.interval,
+                    delivered_bits=victim_payload["delivered_bits"],
+                    attack_bits=victim_payload["attack_bits"],
+                    peer_count=victim_payload["peer_count"],
+                    filtered_bits=merged["totals"]["filtered_bits"],
+                )
+            intervals += 1
+    finally:
+        member_table.release()
 
     top_ports = dict(
         sorted(service_bytes.items(), key=lambda item: (-item[1], item[0]))[:10]

@@ -28,7 +28,12 @@ fans out *one experiment's intervals* across fabric shards (see
 A shard runtime is any object with ``run_interval(interval_start,
 interval) -> dict``; a payload's optional ``"table"`` entry (a
 :class:`~repro.traffic.flowtable.FlowTable`) is the only part treated
-specially — it travels through shared memory instead of pickle.
+specially — it travels through shared memory instead of pickle.  Bulky
+read-only inputs can ride shared memory in the other direction too: the
+city-scale runner hands every worker one
+:class:`~repro.traffic.sharedtable.SharedMemberTable` handle, and each
+shard runtime materialises its members from the mapped block instead of
+unpickling the population per shard.
 """
 
 from __future__ import annotations

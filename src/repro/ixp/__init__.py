@@ -38,7 +38,15 @@ from .service import (
     replay_request_log,
 )
 from .ruleindex import MatchSignature, RuleMatchIndex
-from .shard import ShardPlanner, ShardSpec, merge_interval_reports, shard_for_member
+from .shard import (
+    ShardLookup,
+    ShardPlanner,
+    ShardSpec,
+    columns_to_report_dict,
+    merge_interval_columns,
+    merge_interval_reports,
+    shard_for_member,
+)
 from .tcam import TcamExhaustedError, TcamModel, TcamStatus
 from .topology import (
     PortSpeedMix,
@@ -90,6 +98,9 @@ __all__ = [
     "RuleMatchIndex",
     "ShardPlanner",
     "ShardSpec",
+    "ShardLookup",
+    "columns_to_report_dict",
+    "merge_interval_columns",
     "merge_interval_reports",
     "shard_for_member",
     "TcamExhaustedError",

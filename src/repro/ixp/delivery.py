@@ -89,7 +89,11 @@ class FabricDeliveryPlan:
     membership or some port's rules changed.
     """
 
-    def __init__(self, fabric: "SwitchingFabric") -> None:
+    def __init__(
+        self,
+        fabric: "SwitchingFabric",
+        previous: "FabricDeliveryPlan | None" = None,
+    ) -> None:
         self.fabric = fabric
         # Key membership off the fabric's member registry (the same source
         # of truth the per-member engine and the IPFIX export filter use),
@@ -102,7 +106,11 @@ class FabricDeliveryPlan:
         #: precedence order (members in ascending ASN order, matching the
         #: sorted group-by the execution pass produces).
         self._rules: list[CompiledRule] = []
-        self._rules_by_member: dict[int, list[int]] = {}
+        #: Each filtered member's contiguous slice of :attr:`_rules`.  The
+        #: :class:`CompiledRule` entries are position-independent (global
+        #: index = start + port-local rank), so an unchanged port's
+        #: segment is reused verbatim when patching a stale plan.
+        self._segments: dict[int, list[CompiledRule]] = {}
         #: First global index of each filtered member's contiguous rule
         #: block (global index = start + port-local rank).
         self._member_start: dict[int, int] = {}
@@ -110,19 +118,23 @@ class FabricDeliveryPlan:
         self._port_versions: dict[int, int] = {}
         for asn in sorted(self._ports):
             qos = self._ports[asn].qos
-            self._port_versions[asn] = qos.rules_version
-            sorted_rules = qos.sorted_rules()
-            if not sorted_rules:
-                continue
-            start = len(self._rules)
-            self._member_start[asn] = start
-            indices: list[int] = []
-            for position, rule in enumerate(sorted_rules):
-                indices.append(len(self._rules))
-                self._rules.append(
+            version = qos.rules_version
+            self._port_versions[asn] = version
+            if previous is not None and previous._port_versions.get(asn) == version:
+                # Unchanged port: adopt the previous plan's compiled
+                # segment (possibly absent — a rule-less port compiles to
+                # no segment on both sides) instead of rebuilding it.
+                segment = previous._segments.get(asn, [])
+            else:
+                segment = [
                     CompiledRule(member_asn=asn, rule=rule, port_rule_index=position)
-                )
-            self._rules_by_member[asn] = indices
+                    for position, rule in enumerate(qos.sorted_rules())
+                ]
+            if not segment:
+                continue
+            self._member_start[asn] = len(self._rules)
+            self._segments[asn] = segment
+            self._rules.extend(segment)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -209,7 +221,7 @@ class FabricDeliveryPlan:
                 continue
             rows = rows_per_group[group_index]
             offered = float(bits[rows].sum())
-            if asn not in self._rules_by_member:
+            if asn not in self._segments:
                 result = self._passthrough_result(table, rows, offered, port, interval)
             else:
                 result = self._filtered_result(
@@ -249,12 +261,12 @@ class FabricDeliveryPlan:
         contiguous block offset.
         """
         if not any(
-            asn in self._rules_by_member for asn in unique_asns.tolist()
+            asn in self._segments for asn in unique_asns.tolist()
         ):
             return None, None
         assigned = np.full(len(table), -1, dtype=np.int64)
         for group_index, asn in enumerate(unique_asns.tolist()):
-            if asn not in self._rules_by_member:
+            if asn not in self._segments:
                 continue
             rows = rows_per_group[group_index]
             member_table = table.select(rows)

@@ -80,6 +80,61 @@ class FabricIntervalReport:
             },
         }
 
+    def to_columns(self) -> dict:
+        """Columnar view of the interval outcome, for the shard merge.
+
+        Same numbers as :meth:`to_dict`, but per-member accounting is laid
+        out as parallel numpy arrays in ascending-ASN order, so
+        :func:`~repro.ixp.shard.merge_interval_columns` reduces shards with
+        array concatenation + one argsort instead of per-member dict
+        copies.  Sparse ``rule_stats`` stay a nested dict (only members
+        with claimed rules carry entries).
+        :func:`~repro.ixp.shard.columns_to_report_dict` converts back to
+        the :meth:`to_dict` shape bit-for-bit (float64 round-trips
+        exactly).
+        """
+        ordered = sorted(self.results_by_member.items())
+        return {
+            "interval_start": self.interval_start,
+            "interval": self.interval,
+            "totals": {
+                "offered_bits": self.offered_bits,
+                "delivered_bits": self.delivered_bits,
+                "filtered_bits": self.filtered_bits,
+                "congestion_dropped_bits": self.congestion_dropped_bits,
+            },
+            "member_asns": np.fromiter(
+                (asn for asn, _ in ordered), dtype=np.int64, count=len(ordered)
+            ),
+            "member_fields": {
+                name: np.fromiter(
+                    (getattr(result, name) for _, result in ordered),
+                    dtype=np.float64,
+                    count=len(ordered),
+                )
+                for name in MEMBER_REPORT_FIELDS
+            },
+            "rule_stats": {
+                str(asn): {
+                    rule_id: dict(stats)
+                    for rule_id, stats in sorted(result.rule_stats.items())
+                }
+                for asn, result in ordered
+                if result.rule_stats
+            },
+        }
+
+
+#: Per-member bit-accounting fields carried by the columnar report view,
+#: in the order :meth:`FabricIntervalReport.to_dict` lists them.
+MEMBER_REPORT_FIELDS = (
+    "forwarded_bits",
+    "dropped_bits",
+    "shaped_passed_bits",
+    "shaped_dropped_bits",
+    "congestion_dropped_bits",
+)
+
 
 #: Delivery engines :meth:`SwitchingFabric.deliver` can run.
 DELIVERY_ENGINES = ("batched", "per-member")
@@ -230,10 +285,15 @@ class SwitchingFabric:
         the per-port compiled match indexes are cached on the policies
         themselves, so even a recompile only rebuilds touched ports'
         indexes.
+
+        A stale cached plan is *patched*, not rebuilt: the replacement
+        plan adopts the previous plan's compiled segment for every port
+        whose rule-set version is unchanged, so a single-port install
+        re-derives only that port's slice of the platform rule set.
         """
         plan = self._plan_cache
         if plan is None or not plan.is_current():
-            plan = self.compile_delivery_plan()
+            plan = FabricDeliveryPlan(self, previous=plan)
             self._plan_cache = plan
         return plan
 

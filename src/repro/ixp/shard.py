@@ -23,6 +23,8 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .fabric import SwitchingFabric
     from .member import IxpMember
@@ -158,12 +160,40 @@ class ShardPlanner:
         ]
 
 
+class ShardLookup:
+    """Prebuilt ASN→shard resolution over a plan.
+
+    Building the dict walks the plan once; every lookup after that is a
+    plain dict hit.  Anything resolving members repeatedly — per member at
+    city scale — should hold one of these instead of re-scanning the plan
+    through :func:`shard_for_member`.
+    """
+
+    def __init__(self, plan: Sequence[ShardSpec]) -> None:
+        self._by_asn: dict[int, ShardSpec] = {
+            asn: spec for spec in plan for asn in spec.member_asns
+        }
+
+    def __getitem__(self, member_asn: int) -> ShardSpec:
+        try:
+            return self._by_asn[member_asn]
+        except KeyError:
+            raise KeyError(f"AS{member_asn} is in no shard of the plan") from None
+
+    def __contains__(self, member_asn: int) -> bool:
+        return member_asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+
 def shard_for_member(plan: Sequence[ShardSpec], member_asn: int) -> ShardSpec:
-    """The shard owning ``member_asn`` (exactly one, by construction)."""
-    for spec in plan:
-        if member_asn in spec.member_asns:
-            return spec
-    raise KeyError(f"AS{member_asn} is in no shard of the plan")
+    """The shard owning ``member_asn`` (exactly one, by construction).
+
+    One-off convenience over :class:`ShardLookup`; loops should build the
+    lookup once rather than pay the plan walk per call.
+    """
+    return ShardLookup(plan)[member_asn]
 
 
 def merge_interval_reports(reports: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
@@ -207,3 +237,93 @@ def merge_interval_reports(reports: Sequence[Mapping[str, Any]]) -> dict[str, An
         members.update(report["members"])
     merged["members"] = {asn: members[asn] for asn in sorted(members, key=int)}
     return merged
+
+
+#: Platform-total keys, in the order both merge functions accumulate them.
+_TOTAL_KEYS = (
+    "offered_bits",
+    "delivered_bits",
+    "filtered_bits",
+    "congestion_dropped_bits",
+)
+
+
+def merge_interval_columns(payloads: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Reduce per-shard ``FabricIntervalReport.to_columns()`` payloads.
+
+    The columnar counterpart of :func:`merge_interval_reports`: per-member
+    accounting arrives as parallel numpy arrays per shard and merges with
+    one concatenation + stable argsort over the ASN column instead of
+    O(members) per-member dict copies.  Numbers are bit-for-bit what the
+    dict merge produces — totals are float sums in ascending shard order
+    (the fixed order that makes the serial oracle reproduce them at any
+    worker count), member rows are disjoint across shards (checked) and
+    merely reordered.
+    """
+    if not payloads:
+        raise ValueError("need at least one shard report to merge")
+    first = payloads[0]
+    for payload in payloads:
+        if (
+            payload["interval_start"] != first["interval_start"]
+            or payload["interval"] != first["interval"]
+        ):
+            raise ValueError("shard reports describe different intervals")
+    totals = {
+        key: float(sum([payload["totals"][key] for payload in payloads]))
+        for key in _TOTAL_KEYS
+    }
+    asns = np.concatenate([payload["member_asns"] for payload in payloads])
+    order = np.argsort(asns, kind="stable")
+    sorted_asns = asns[order]
+    if len(sorted_asns) > 1:
+        duplicates = sorted_asns[1:][sorted_asns[1:] == sorted_asns[:-1]]
+        if len(duplicates):
+            raise ValueError(
+                "member(s) "
+                f"{sorted(set(int(asn) for asn in duplicates))} "
+                "appear in multiple shards"
+            )
+    member_fields = {
+        name: np.concatenate(
+            [payload["member_fields"][name] for payload in payloads]
+        )[order]
+        for name in first["member_fields"]
+    }
+    rule_stats: dict[str, Any] = {}
+    for payload in payloads:
+        rule_stats.update(payload["rule_stats"])
+    return {
+        "interval_start": first["interval_start"],
+        "interval": first["interval"],
+        "totals": totals,
+        "member_asns": sorted_asns,
+        "member_fields": member_fields,
+        "rule_stats": rule_stats,
+    }
+
+
+def columns_to_report_dict(columns: Mapping[str, Any]) -> dict[str, Any]:
+    """Convert a columnar (merged) payload back to the ``to_dict()`` shape.
+
+    Bit-for-bit: float64 array values round-trip exactly through
+    ``tolist``, so converting the columnar merge of shard payloads equals
+    :func:`merge_interval_reports` over the same shards'
+    ``to_dict()`` payloads — the parity bridge the shard tests pin, and
+    what the city-scale experiment digests.
+    """
+    asns = columns["member_asns"].tolist()
+    fields = {name: array.tolist() for name, array in columns["member_fields"].items()}
+    rule_stats = columns["rule_stats"]
+    members = {}
+    for row, asn in enumerate(asns):
+        key = str(asn)
+        member = {name: values[row] for name, values in fields.items()}
+        member["rule_stats"] = rule_stats.get(key, {})
+        members[key] = member
+    return {
+        "interval_start": columns["interval_start"],
+        "interval": columns["interval"],
+        **{key: columns["totals"][key] for key in _TOTAL_KEYS},
+        "members": members,
+    }

@@ -21,7 +21,7 @@ from .flowtable import FlowTable, derived_mac, ints_to_ips, ip_to_int
 from .generator import IxpTraceGenerator, MemberAttackScenarioGenerator, RtbhEvent
 from .ipfix import ExportedRecord, ExportedTable, IpfixCollector, IpfixExporter
 from .packet import ETHERNET_MTU, IpProtocol, PacketTemplate, WellKnownPort
-from .sharedtable import SharedFlowTable
+from .sharedtable import SharedFlowTable, SharedMemberTable
 from .profiles import (
     TrafficProfile,
     attack_profile,
@@ -57,6 +57,7 @@ __all__ = [
     "MemberAttackScenarioGenerator",
     "RtbhEvent",
     "SharedFlowTable",
+    "SharedMemberTable",
     "ExportedRecord",
     "ExportedTable",
     "IpfixCollector",

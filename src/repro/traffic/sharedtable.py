@@ -190,6 +190,236 @@ class SharedFlowTable:
         )
 
 
+#: Column layout of a :class:`SharedMemberTable` block, in storage order.
+_MEMBER_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("asn", "<i8"),
+    ("port_capacity_bps", "<f8"),
+    ("pop", "<i2"),
+    ("honors_rtbh", "|b1"),
+)
+
+
+class SharedMemberTable:
+    """A picklable handle to a member population stored in shared memory.
+
+    The sharded city-scale pipeline hands every worker the same member
+    population; re-deriving it per shard runtime costs tens of thousands
+    of ``IxpMember`` constructions per worker start.  This handle packs
+    the population's variable attributes (ASN, port capacity, PoP index,
+    RTBH compliance) into one shared block the parent creates once and
+    every worker maps zero-copy; the derivable attributes (name, MAC,
+    route-server flag, prefixes) follow the
+    :func:`~repro.ixp.topology.make_member_population` conventions, which
+    :meth:`from_members` validates at pack time so reconstruction is
+    attribute-for-attribute exact.
+
+    Lifecycle mirrors :class:`SharedFlowTable`, with the parent as both
+    producer and eventual destroyer: workers only attach (CPython's
+    resource tracker registers segments on ``create=True`` only, so a
+    worker exiting never tears the block down) and the parent calls
+    :meth:`release` when the run ends.
+    """
+
+    __slots__ = ("shm_name", "rows", "base_asn", "nbytes", "_shm", "_columns")
+
+    def __init__(self, shm_name: Optional[str], rows: int, base_asn: int, nbytes: int) -> None:
+        self.shm_name = shm_name
+        self.rows = rows
+        self.base_asn = base_asn
+        self.nbytes = nbytes
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._columns: Optional[dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction (parent side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_members(
+        cls, members, base_asn: int = 65000, *, transfer: bool = False
+    ) -> "SharedMemberTable":
+        """Pack a generated member population into a shared block.
+
+        ``members`` must follow the ``make_member_population`` shape —
+        ascending ASNs from ``base_asn``, ``member-<index>`` names,
+        derived MACs, route-server peering, no declared prefixes — since
+        only the variable columns cross the process boundary; anything
+        else is rejected rather than silently reconstructed wrong.
+        """
+        from ..ixp.member import default_mac  # local: traffic package imports first
+        from ..ixp.shard import pop_index
+
+        members = list(members)
+        for row, member in enumerate(members):
+            expected_asn = base_asn + row
+            if (
+                member.asn != expected_asn
+                or member.name != f"member-{row}"
+                or member.mac != default_mac(member.asn)
+                or not member.uses_route_server
+                or member.prefixes
+            ):
+                raise ValueError(
+                    f"member at row {row} does not follow the generated-"
+                    f"population conventions (expected AS{expected_asn} "
+                    f"'member-{row}' with derived attributes)"
+                )
+        rows = len(members)
+        layout = cls._layout(rows)
+        nbytes = 0 if rows == 0 else max(start + rows * np.dtype(dtype).itemsize
+                                         for _, dtype, start in layout)
+        handle = cls(None, rows, base_asn, nbytes)
+        if rows == 0:
+            return handle
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            columns = {
+                name: np.ndarray(rows, dtype=np.dtype(dtype), buffer=shm.buf, offset=start)
+                for name, dtype, start in layout
+            }
+            columns["asn"][:] = [member.asn for member in members]
+            columns["port_capacity_bps"][:] = [
+                member.port_capacity_bps for member in members
+            ]
+            columns["pop"][:] = [pop_index(member.pop) for member in members]
+            columns["honors_rtbh"][:] = [member.honors_rtbh for member in members]
+            if transfer:
+                _untrack(shm)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        handle.shm_name = shm.name
+        handle._shm = shm
+        return handle
+
+    @staticmethod
+    def _layout(rows: int) -> tuple[tuple[str, str, int], ...]:
+        layout: list[tuple[str, str, int]] = []
+        offset = 0
+        for name, dtype in _MEMBER_COLUMNS:
+            offset = _aligned(offset)
+            layout.append((name, dtype, offset))
+            offset += rows * np.dtype(dtype).itemsize
+        return tuple(layout)
+
+    # ------------------------------------------------------------------
+    # Consumption (any process)
+    # ------------------------------------------------------------------
+    def _mapped(self) -> dict[str, np.ndarray]:
+        if self._columns is not None:
+            return self._columns
+        if self.rows == 0 or self.shm_name is None:
+            self._columns = {
+                name: np.empty(0, dtype=np.dtype(dtype))
+                for name, dtype in _MEMBER_COLUMNS
+            }
+            return self._columns
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.shm_name)
+        self._columns = {
+            name: np.ndarray(
+                self.rows, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+            )
+            for name, dtype, start in self._layout(self.rows)
+        }
+        return self._columns
+
+    def asn_array(self) -> np.ndarray:
+        """The population's ASNs, ascending (a view into the mapping)."""
+        return self._mapped()["asn"]
+
+    def members(self) -> list:
+        """Materialise the full population as :class:`~repro.ixp.member.IxpMember`."""
+        return self._build(range(self.rows))
+
+    def members_for(self, asns) -> list:
+        """Materialise only the members owning ``asns`` (any order kept).
+
+        One ``searchsorted`` over the ascending ASN column resolves the
+        rows; unknown ASNs raise ``KeyError``.
+        """
+        wanted = np.asarray(list(asns), dtype=np.int64)
+        if len(wanted) == 0:
+            return []
+        known = self._mapped()["asn"]
+        rows = np.searchsorted(known, wanted)
+        rows = np.minimum(rows, max(self.rows - 1, 0))
+        missing = known[rows] != wanted if self.rows else np.ones(len(wanted), bool)
+        if bool(np.any(missing)):
+            raise KeyError(
+                f"AS{int(wanted[missing][0])} is not in the shared member table"
+            )
+        return self._build(rows.tolist())
+
+    def _build(self, rows) -> list:
+        from ..ixp.member import IxpMember  # local: avoid a package import cycle
+
+        columns = self._mapped()
+        capacities = columns["port_capacity_bps"]
+        pops = columns["pop"]
+        honors = columns["honors_rtbh"]
+        asns = columns["asn"]
+        return [
+            IxpMember(
+                asn=int(asns[row]),
+                name=f"member-{int(asns[row]) - self.base_asn}",
+                port_capacity_bps=float(capacities[row]),
+                pop=f"pop-{int(pops[row])}",
+                honors_rtbh=bool(honors[row]),
+            )
+            for row in rows
+        ]
+
+    def close(self) -> None:
+        """Drop this process's mapping (array views become invalid)."""
+        self._columns = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the block.  Call once, from the owning (parent) side."""
+        if self.shm_name is None:
+            return
+        shm = self._shm
+        if shm is None:
+            try:
+                shm = shared_memory.SharedMemory(name=self.shm_name)
+            except FileNotFoundError:
+                self.shm_name = None
+                return
+        self._columns = None
+        self._shm = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        self.shm_name = None
+
+    def release(self) -> None:
+        """Close and unlink in one call (the parent's epilogue)."""
+        self.close()
+        self.unlink()
+
+    # ------------------------------------------------------------------
+    # Pickling — metadata only
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.shm_name, self.rows, self.base_asn, self.nbytes)
+
+    def __setstate__(self, state) -> None:
+        self.shm_name, self.rows, self.base_asn, self.nbytes = state
+        self._shm = None
+        self._columns = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedMemberTable(name={self.shm_name!r}, rows={self.rows}, "
+            f"base_asn={self.base_asn})"
+        )
+
+
 def _untrack(shm: shared_memory.SharedMemory) -> None:
     """Unregister ``shm`` from this process's resource tracker.
 

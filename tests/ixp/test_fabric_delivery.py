@@ -270,6 +270,38 @@ class TestDeliveryPlan:
         report = fabric.deliver(table, 10.0, 10.0)
         assert report.results_by_member[VICTIM_ASN].dropped_bits > 0.0
 
+    def test_recompile_patches_only_the_touched_port(self):
+        # A rule change on one member must rebuild only that member's
+        # segment; every other port's compiled rules are adopted from the
+        # previous plan by identity (the incremental-plan fast path).
+        fabric = build_fabric()
+        table = interval_table(with_unknown=False)
+        fabric.deliver(table, 10.0)
+        before = fabric.current_delivery_plan()
+        fabric.router_for_member(65001).install_rule(
+            65001,
+            QosRule(
+                match=FlowMatch(src_port=19),
+                action=FilterAction.DROP,
+                rule_id="late-chargen",
+            ),
+        )
+        after = fabric.current_delivery_plan()
+        assert after is not before
+        assert after._segments[VICTIM_ASN] is before._segments[VICTIM_ASN]
+        assert after._segments[65001] is not before._segments[65001]
+        assert after.rule_count == before.rule_count + 1
+        assert "late-chargen" in {
+            compiled.rule.rule_id for compiled in after.compiled_rules()
+        }
+        # The patched plan delivers identically to a from-scratch one.
+        report_patched = fabric.deliver(table, 10.0, 10.0)
+        fabric._plan_cache = None
+        report_fresh = fabric.deliver(table, 10.0, 20.0)
+        patched, fresh = report_patched.to_dict(), report_fresh.to_dict()
+        patched.pop("interval_start"), fresh.pop("interval_start")
+        assert patched == fresh
+
     def test_passthrough_results_defer_tables(self):
         fabric = build_fabric()
         table = interval_table()

@@ -7,16 +7,23 @@ shard owns whole PoPs whose routers rebuild identically from
 losslessly into the platform report (merge).
 """
 
+import numpy as np
 import pytest
 
 from repro.ixp import (
+    ShardLookup,
     ShardPlanner,
     build_multi_pop_fabric,
+    columns_to_report_dict,
     make_member_population,
+    merge_interval_columns,
     merge_interval_reports,
     shard_for_member,
 )
+from repro.ixp.fabric import MEMBER_REPORT_FIELDS
 from repro.ixp.shard import pop_index
+from repro.sim.rng import make_rng
+from repro.traffic import FlowTable
 
 
 def make_platform(member_count=60, pop_count=4, seed=11):
@@ -172,3 +179,146 @@ class TestMergeIntervalReports:
     def test_rejects_member_overlap(self):
         with pytest.raises(ValueError):
             merge_interval_reports([report(members=[65001]), report(members=[65001])])
+
+
+class TestShardLookup:
+    def test_lookup_matches_linear_scan(self):
+        fabric, members = make_platform()
+        plan = ShardPlanner.for_fabric(fabric).plan()
+        lookup = ShardLookup(plan)
+        assert len(lookup) == len(members)
+        for member in members:
+            assert lookup[member.asn] is shard_for_member(plan, member.asn)
+            assert member.asn in lookup
+        assert 1 not in lookup
+
+    def test_unknown_member_raises_keyerror(self):
+        fabric, _ = make_platform()
+        lookup = ShardLookup(ShardPlanner.for_fabric(fabric).plan())
+        with pytest.raises(KeyError, match="AS1 is in no shard"):
+            lookup[1]
+
+    def test_empty_plan(self):
+        lookup = ShardLookup([])
+        assert len(lookup) == 0
+        assert 65001 not in lookup
+
+
+def columns(interval_start=0.0, interval=10.0, members=(), rule_stats=None, **totals):
+    """A synthetic columnar shard payload (the to_columns() shape)."""
+    payload_totals = {
+        "offered_bits": 0.0,
+        "delivered_bits": 0.0,
+        "filtered_bits": 0.0,
+        "congestion_dropped_bits": 0.0,
+    }
+    payload_totals.update(totals)
+    asns = np.array(sorted(members), dtype=np.int64)
+    return {
+        "interval_start": interval_start,
+        "interval": interval,
+        "totals": payload_totals,
+        "member_asns": asns,
+        "member_fields": {
+            name: (
+                asns.astype(np.float64)
+                if name == "forwarded_bits"
+                else np.zeros(len(asns), dtype=np.float64)
+            )
+            for name in MEMBER_REPORT_FIELDS
+        },
+        "rule_stats": dict(rule_stats or {}),
+    }
+
+
+class TestMergeIntervalColumns:
+    def test_totals_sum_and_members_union_sorted(self):
+        merged = merge_interval_columns(
+            [
+                columns(members=[65002, 65010], offered_bits=10.0, delivered_bits=4.0),
+                columns(members=[65001], offered_bits=2.5, filtered_bits=1.0),
+            ]
+        )
+        assert merged["totals"]["offered_bits"] == 12.5
+        assert merged["totals"]["delivered_bits"] == 4.0
+        assert merged["totals"]["filtered_bits"] == 1.0
+        assert merged["member_asns"].tolist() == [65001, 65002, 65010]
+        assert merged["member_fields"]["forwarded_bits"].tolist() == [
+            65001.0,
+            65002.0,
+            65010.0,
+        ]
+
+    def test_bridge_parity_with_dict_merge(self):
+        # The columnar reduce followed by the dict bridge must equal the
+        # legacy dict-by-dict merge of the same shard payloads.
+        payloads = [
+            columns(
+                members=[65004, 65002],
+                offered_bits=7.0,
+                rule_stats={"65002": {"drop-ntp": {"dropped": 5.0}}},
+            ),
+            columns(members=[65001, 65009], delivered_bits=3.0),
+            columns(members=[65003], filtered_bits=1.5),
+        ]
+        via_columns = columns_to_report_dict(merge_interval_columns(payloads))
+        via_dicts = merge_interval_reports(
+            [columns_to_report_dict(payload) for payload in payloads]
+        )
+        assert via_columns == via_dicts
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_interval_columns([])
+
+    def test_rejects_interval_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_interval_columns(
+                [columns(interval_start=0.0), columns(interval_start=10.0)]
+            )
+
+    def test_rejects_member_overlap(self):
+        with pytest.raises(ValueError, match="multiple shards"):
+            merge_interval_columns(
+                [columns(members=[65001, 65002]), columns(members=[65001])]
+            )
+
+    def test_single_payload_roundtrip(self):
+        payload = columns(
+            members=[65001, 65002],
+            offered_bits=4.0,
+            rule_stats={"65001": {"r": {"dropped": 1.0}}},
+        )
+        merged = merge_interval_columns([payload])
+        assert merged["member_asns"].tolist() == [65001, 65002]
+        report_dict = columns_to_report_dict(merged)
+        assert report_dict["offered_bits"] == 4.0
+        assert report_dict["members"]["65001"]["rule_stats"] == {"r": {"dropped": 1.0}}
+        assert report_dict["members"]["65002"]["rule_stats"] == {}
+
+
+class TestColumnsRoundtrip:
+    def test_real_report_to_columns_bridges_to_to_dict(self):
+        # A delivered interval's columnar view converts back to the exact
+        # to_dict() payload — the bit-for-bit contract the sharded runner
+        # digests rely on.
+        fabric, members = make_platform(member_count=12, pop_count=2, seed=3)
+        rng = make_rng(7)
+        n = 800
+        asns = np.array([member.asn for member in members], dtype=np.int64)
+        table = FlowTable(
+            src_ip=rng.integers(0x0B000000, 0xDF000000, size=n).astype(np.uint32),
+            dst_ip=rng.integers(0x0B000000, 0xDF000000, size=n).astype(np.uint32),
+            protocol=rng.choice([6, 17], size=n).astype(np.uint8),
+            src_port=rng.choice([19, 123, 50000], size=n).astype(np.int32),
+            dst_port=rng.integers(1024, 65536, size=n).astype(np.int32),
+            start=np.zeros(n),
+            duration=np.full(n, 10.0),
+            bytes=rng.integers(100, 20000, size=n).astype(np.int64),
+            packets=np.ones(n, dtype=np.int64),
+            ingress_asn=rng.choice(asns, size=n),
+            egress_asn=rng.choice(asns, size=n),
+            is_attack=np.zeros(n, dtype=bool),
+        )
+        report = fabric.deliver(table, 10.0, 0.0)
+        assert columns_to_report_dict(report.to_columns()) == report.to_dict()

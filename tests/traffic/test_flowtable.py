@@ -179,10 +179,26 @@ class TestPackedDtypes:
 
     def test_column_dtypes_are_packed(self):
         table = FlowTable.from_records([make_flow()])
+        assert table.src_ip.dtype == np.uint32
+        assert table.dst_ip.dtype == np.uint32
+        assert table.protocol.dtype == np.uint8
         assert table.src_port.dtype == np.uint16
         assert table.dst_port.dtype == np.uint16
         assert table.ingress_asn.dtype == np.int32
         assert table.egress_asn.dtype == np.int32
+
+    def test_packed_dtypes_survive_concat_and_select(self):
+        # The radix-bin pre-pass shifts the uint32 address columns and the
+        # exact-group packer masks the uint8/uint16 lanes; both rely on
+        # the packed dtypes surviving every table transformation.
+        table = FlowTable.concat(
+            [FlowTable.from_records([make_flow()]), FlowTable.from_records([make_flow()])]
+        )
+        subset = table.select(np.array([0], dtype=np.int64))
+        for view in (table, subset):
+            assert view.src_ip.dtype == np.uint32
+            assert view.dst_ip.dtype == np.uint32
+            assert view.protocol.dtype == np.uint8
 
     def test_extreme_values_round_trip(self):
         flow = make_flow(src_port=65535, dst_port=0, ingress=4_200_000_000 // 2)

@@ -123,3 +123,95 @@ class TestLifecycle:
             consumer.release()
         finally:
             handle.close()
+
+
+class TestSharedMemberTable:
+    def make_members(self, count=40, pop_count=4, seed=9):
+        from repro.ixp import make_member_population
+
+        return make_member_population(count, pop_count=pop_count, seed=seed)
+
+    def test_roundtrip_is_attribute_exact(self):
+        from repro.traffic import SharedMemberTable
+
+        members = self.make_members()
+        handle = SharedMemberTable.from_members(members)
+        try:
+            restored = handle.members()
+            assert restored == members
+            assert handle.asn_array().tolist() == [m.asn for m in members]
+            assert not handle.asn_array().flags.owndata  # view into the block
+        finally:
+            handle.release()
+
+    def test_members_for_preserves_request_order(self):
+        from repro.traffic import SharedMemberTable
+
+        members = self.make_members(count=20)
+        handle = SharedMemberTable.from_members(members)
+        try:
+            wanted = [members[7].asn, members[2].asn, members[19].asn]
+            subset = handle.members_for(wanted)
+            assert [m.asn for m in subset] == wanted
+            assert subset == [members[7], members[2], members[19]]
+            assert handle.members_for([]) == []
+        finally:
+            handle.release()
+
+    def test_members_for_unknown_asn_raises(self):
+        from repro.traffic import SharedMemberTable
+
+        handle = SharedMemberTable.from_members(self.make_members(count=10))
+        try:
+            with pytest.raises(KeyError, match="not in the shared member table"):
+                handle.members_for([99999])
+        finally:
+            handle.release()
+
+    def test_pickle_round_trip_reattaches(self):
+        from repro.traffic import SharedMemberTable
+
+        members = self.make_members(count=15)
+        handle = SharedMemberTable.from_members(members)
+        try:
+            remote = pickle.loads(pickle.dumps(handle))
+            assert len(pickle.dumps(handle)) < 512  # metadata only
+            assert remote.members() == members
+            remote.close()  # consumer drops its mapping, block survives
+            assert handle.members() == members
+        finally:
+            handle.release()
+
+    def test_rejects_non_generated_population(self):
+        from repro.ixp import IxpMember
+        from repro.traffic import SharedMemberTable
+
+        custom = IxpMember(
+            asn=64500,
+            name="experimental-as",
+            port_capacity_bps=100e9,
+            prefixes=["100.10.10.0/24"],
+        )
+        with pytest.raises(ValueError, match="population conventions"):
+            SharedMemberTable.from_members([custom])
+
+    def test_empty_population_needs_no_block(self):
+        from repro.traffic import SharedMemberTable
+
+        handle = SharedMemberTable.from_members([])
+        assert handle.shm_name is None
+        assert handle.members() == []
+        handle.release()
+
+    def test_release_destroys_the_block(self):
+        from multiprocessing import shared_memory
+
+        from repro.traffic import SharedMemberTable
+
+        handle = SharedMemberTable.from_members(self.make_members(count=5))
+        name = handle.shm_name
+        handle.release()
+        assert handle.shm_name is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        handle.release()  # idempotent
